@@ -1,0 +1,120 @@
+// Ablation: why the invariant theory matters (Sections 5.3/5.4).
+//
+// Three constraint-set variants are compared, each combined with the same
+// Top-K background knowledge:
+//   complete          — QI + SA invariants (the paper's sound & complete set)
+//   concise           — complete minus the one redundant row per bucket
+//                       (Theorem 3): same optimum, smaller dual
+//   qi-only (unsound) — SA-invariants dropped: the constraint set is no
+//                       longer complete
+//
+// Two measurements per variant: the estimation accuracy of the resulting
+// posterior, and the worst violation of the *full* invariant set at the
+// solution — i.e. whether the "posterior" is even consistent with the
+// published table.
+//
+// Expected outcome: complete and concise agree to solver tolerance
+// (concise with a slightly smaller dual); qi-only produces a solution
+// that visibly violates the published SA counts, demonstrating that
+// completeness is load-bearing, not cosmetic.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "constraints/bk_compiler.h"
+#include "constraints/invariants.h"
+#include "constraints/system.h"
+#include "core/posterior.h"
+#include "maxent/problem.h"
+#include "maxent/solver.h"
+
+namespace {
+
+struct VariantResult {
+  double seconds = 0.0;
+  size_t iterations = 0;
+  size_t constraints = 0;
+  double accuracy = 0.0;
+  /// Worst violation of the complete invariant set at this solution.
+  double table_violation = 0.0;
+};
+
+VariantResult RunVariant(const pme::core::ExperimentPipeline& pipeline,
+                         const std::vector<pme::knowledge::AssociationRule>&
+                             rules,
+                         bool drop_redundant, bool drop_sa_invariants) {
+  const auto& table = pipeline.bucketization.table;
+  auto index = pme::constraints::TermIndex::Build(table);
+
+  pme::constraints::InvariantOptions inv;
+  inv.drop_redundant_row = drop_redundant;
+  auto invariants = pme::constraints::GenerateInvariants(table, index, inv);
+  pme::constraints::ConstraintSystem system(index.num_variables());
+  for (auto& c : invariants) {
+    if (drop_sa_invariants &&
+        c.source == pme::constraints::ConstraintSource::kSaInvariant) {
+      continue;
+    }
+    system.Add(std::move(c));
+  }
+  pme::knowledge::KnowledgeBase kb;
+  kb.AddRules(rules);
+  auto compiled = pme::bench::Unwrap(
+      pme::constraints::CompileKnowledge(kb, table, index,
+                                         &pipeline.bucketization.qi_encoder),
+      "knowledge");
+  system.AddAll(std::move(compiled.constraints));
+
+  auto problem =
+      pme::bench::Unwrap(pme::maxent::BuildProblem(system), "problem");
+  auto result = pme::bench::Unwrap(pme::maxent::Solve(problem), "solve");
+
+  VariantResult out;
+  out.seconds = result.seconds;
+  out.iterations = result.iterations;
+  out.constraints = system.size();
+  auto posterior =
+      pme::core::PosteriorTable::FromSolution(table, index, result.p);
+  out.accuracy = pme::core::EstimationAccuracy(
+      pme::core::PosteriorTable::GroundTruth(table), posterior);
+  // Evaluate against the *complete* invariant set regardless of variant.
+  auto full_invariants = pme::constraints::GenerateInvariants(table, index);
+  out.table_violation =
+      pme::constraints::MaxInvariantViolation(full_invariants, result.p);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pme::Flags flags(argc, argv);
+  const auto scale = pme::bench::ResolveScale(flags, 1500);
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 100));
+
+  std::printf("# Constraint-set ablation (Sections 5.3/5.4)\n");
+  std::printf("# records=%zu, Top-(%zu,%zu) knowledge in every variant\n",
+              scale.records, k / 2, k - k / 2);
+  auto pipeline = pme::bench::BuildStandardPipeline(scale, 3);
+  auto rules = pme::knowledge::TopK(pipeline.rules, k / 2, k - k / 2);
+
+  auto complete = RunVariant(pipeline, rules, false, false);
+  auto concise = RunVariant(pipeline, rules, true, false);
+  auto qi_only = RunVariant(pipeline, rules, false, true);
+
+  std::printf("%-22s %12s %12s %12s %14s %16s\n", "variant", "constraints",
+              "seconds", "iterations", "est.accuracy", "table.violation");
+  auto row = [](const char* name, const VariantResult& r) {
+    std::printf("%-22s %12zu %12.3f %12zu %14.4f %16.2e\n", name,
+                r.constraints, r.seconds, r.iterations, r.accuracy,
+                r.table_violation);
+  };
+  row("complete (paper)", complete);
+  row("concise (Thm. 3)", concise);
+  row("qi-only (unsound)", qi_only);
+
+  std::printf(
+      "# expected: complete == concise accuracy with table.violation at "
+      "solver tolerance; qi-only violates the published SA counts by a "
+      "large margin — its posterior is not consistent with D'.\n");
+  return 0;
+}

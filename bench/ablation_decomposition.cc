@@ -1,0 +1,60 @@
+// Ablation: the Section-5.5 bucket decomposition.
+//
+// With background knowledge touching only a few buckets, the decomposed
+// solver handles irrelevant buckets in closed form (Theorem 5) and runs
+// the iterative solve on the small coupled core. This bench measures the
+// speedup across knowledge budgets and verifies both paths agree on the
+// estimation accuracy.
+//
+// Expected outcome: large speedups while the knowledge is sparse (few
+// relevant buckets) that shrink as the knowledge blankets the table.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  pme::Flags flags(argc, argv);
+  const auto scale = pme::bench::ResolveScale(flags, 2500);
+
+  std::printf("# Decomposition ablation (Section 5.5)\n");
+  std::printf("# records=%zu\n", scale.records);
+  auto pipeline = pme::bench::BuildStandardPipeline(scale, 3);
+  const size_t total_buckets = pipeline.bucketization.table.num_buckets();
+
+  pme::core::CsvWriter csv(
+      scale.csv_path,
+      {"k", "relevant_buckets", "sec_monolithic", "sec_decomposed",
+       "speedup"});
+
+  std::printf("%8s %20s %14s %14s %10s %12s\n", "K", "relevant/buckets",
+              "monolithic(s)", "decomposed(s)", "speedup", "|acc diff|");
+  for (size_t k : {1, 4, 16, 64, 256, 1024}) {
+    auto top = pme::knowledge::TopK(pipeline.rules, k / 2, k - k / 2);
+
+    pme::core::AnalysisOptions mono, decomp;
+    mono.use_decomposition = false;
+    decomp.use_decomposition = true;
+    auto a = pme::bench::Unwrap(
+        pme::core::AnalyzeWithRules(pipeline, top, mono), "monolithic");
+    auto b = pme::bench::Unwrap(
+        pme::core::AnalyzeWithRules(pipeline, top, decomp), "decomposed");
+
+    const double speedup =
+        b.solver.seconds > 0 ? a.solver.seconds / b.solver.seconds : 0.0;
+    const double diff =
+        std::fabs(a.estimation_accuracy - b.estimation_accuracy);
+    std::printf("%8zu %13zu/%-6zu %14.3f %14.3f %9.1fx %12.2e\n", k,
+                b.decomposition.relevant_buckets, total_buckets,
+                a.solver.seconds, b.solver.seconds, speedup, diff);
+    csv.Row({static_cast<double>(k),
+             static_cast<double>(b.decomposition.relevant_buckets),
+             a.solver.seconds, b.solver.seconds, speedup});
+  }
+  std::printf(
+      "# expected: speedup is largest while relevant buckets << total and "
+      "decays as knowledge coverage grows; accuracy differences stay at "
+      "solver tolerance.\n");
+  return 0;
+}

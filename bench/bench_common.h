@@ -1,0 +1,117 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench accepts:
+//   --records=N     dataset size (default: scaled-down; --full = 14210)
+//   --full          paper scale (14,210 records -> 2,842 buckets of 5)
+//   --csv=PATH      also write the series to a CSV file
+//   --seed=S        dataset seed
+// and prints the same series the corresponding paper figure plots.
+
+#ifndef PME_BENCH_BENCH_COMMON_H_
+#define PME_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/experiment.h"
+#include "knowledge/miner.h"
+
+namespace pme::bench {
+
+/// Scale configuration resolved from flags.
+struct BenchScale {
+  size_t records = 0;
+  bool full = false;
+  uint64_t seed = 0;
+  std::string csv_path;
+};
+
+inline BenchScale ResolveScale(const Flags& flags, size_t default_records) {
+  BenchScale scale;
+  scale.full = flags.GetBool("full", false);
+  scale.records = static_cast<size_t>(
+      flags.GetInt("records", scale.full ? 14210 : default_records));
+  scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 20080612));
+  scale.csv_path = flags.GetString("csv", "");
+  return scale;
+}
+
+/// Builds the standard evaluation pipeline (Adult-like data, 5-diversity
+/// Anatomy buckets, mined rules over QI subsets up to `max_attrs`).
+inline core::ExperimentPipeline BuildStandardPipeline(const BenchScale& scale,
+                                                      size_t max_attrs,
+                                                      bool mine = true) {
+  core::PipelineOptions options;
+  options.data.num_records = scale.records;
+  options.data.seed = scale.seed;
+  options.anatomy.ell = 5;
+  options.miner.min_support_records = 3;  // paper: 3/14210 support floor
+  options.miner.max_attrs = max_attrs;
+  options.mine_rules = mine;
+  auto pipeline = core::BuildPipeline(options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline construction failed: %s\n",
+                 pipeline.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(pipeline).value();
+}
+
+/// Fails fast with the status message.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// A default K sweep, denser at the low end (the paper's curves drop
+/// fastest there), capped by the number of available rules.
+inline std::vector<size_t> KSweep(size_t max_k) {
+  std::vector<size_t> ks = {0};
+  for (size_t k = 25; k < max_k; k = k < 100 ? k * 2 : k * 2) {
+    ks.push_back(k);
+  }
+  ks.push_back(max_k);
+  return ks;
+}
+
+/// Selects `n` *informative, non-degenerate* rules for the performance
+/// experiments (Figure 7): rules asserting conditionals away from 0/1 are
+/// sampled evenly across the ranked list. Hard-zero rules are excluded on
+/// purpose — presolve resolves them structurally (zero iterations), which
+/// would measure the presolver instead of the iterative solver the figure
+/// is about.
+inline std::vector<knowledge::AssociationRule> SampleInformativeRules(
+    const std::vector<knowledge::AssociationRule>& rules, size_t n) {
+  std::vector<knowledge::AssociationRule> informative;
+  for (const auto& r : rules) {
+    if (r.conditional > 0.02 && r.conditional < 0.98) {
+      informative.push_back(r);
+    }
+  }
+  std::vector<knowledge::AssociationRule> out;
+  if (informative.empty() || n == 0) return out;
+  const double stride =
+      std::max(1.0, static_cast<double>(informative.size()) /
+                        static_cast<double>(n));
+  for (double i = 0; i < static_cast<double>(informative.size()) &&
+                     out.size() < n;
+       i += stride) {
+    out.push_back(informative[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace pme::bench
+
+#endif  // PME_BENCH_BENCH_COMMON_H_

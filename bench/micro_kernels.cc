@@ -1,0 +1,162 @@
+// google-benchmark microbenches for the kernels the figure benches lean
+// on: CSR products, the dual evaluation, term indexing, invariant
+// generation, rule mining, the Anatomy partitioner and the closed form.
+
+#include <benchmark/benchmark.h>
+
+#include "anonymize/anatomy.h"
+#include "anonymize/bucketized_table.h"
+#include "common/prng.h"
+#include "constraints/bk_compiler.h"
+#include "constraints/invariants.h"
+#include "constraints/system.h"
+#include "constraints/term_index.h"
+#include "data/adult_synth.h"
+#include "knowledge/miner.h"
+#include "maxent/closed_form.h"
+#include "maxent/dual.h"
+#include "maxent/problem.h"
+#include "maxent/solver.h"
+
+namespace {
+
+using pme::anonymize::BucketizeDataset;
+using pme::anonymize::DatasetBucketization;
+
+DatasetBucketization MakeBucketization(size_t records) {
+  pme::data::AdultSynthOptions options;
+  options.num_records = records;
+  auto dataset = pme::data::GenerateAdultLike(options).ValueOrDie();
+  auto partition = pme::anonymize::AnatomyPartition(dataset, {}).ValueOrDie();
+  return BucketizeDataset(dataset, partition).ValueOrDie();
+}
+
+void BM_AdultSynthGenerate(benchmark::State& state) {
+  pme::data::AdultSynthOptions options;
+  options.num_records = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto d = pme::data::GenerateAdultLike(options).ValueOrDie();
+    benchmark::DoNotOptimize(d.num_records());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AdultSynthGenerate)->Arg(1000)->Arg(10000);
+
+void BM_AnatomyPartition(benchmark::State& state) {
+  pme::data::AdultSynthOptions options;
+  options.num_records = static_cast<size_t>(state.range(0));
+  auto dataset = pme::data::GenerateAdultLike(options).ValueOrDie();
+  for (auto _ : state) {
+    auto partition =
+        pme::anonymize::AnatomyPartition(dataset, {}).ValueOrDie();
+    benchmark::DoNotOptimize(partition.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AnatomyPartition)->Arg(1000)->Arg(10000);
+
+void BM_TermIndexBuild(benchmark::State& state) {
+  auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto index = pme::constraints::TermIndex::Build(bz.table);
+    benchmark::DoNotOptimize(index.num_variables());
+  }
+}
+BENCHMARK(BM_TermIndexBuild)->Arg(1000)->Arg(10000);
+
+void BM_InvariantGeneration(benchmark::State& state) {
+  auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
+  auto index = pme::constraints::TermIndex::Build(bz.table);
+  for (auto _ : state) {
+    auto invariants = pme::constraints::GenerateInvariants(bz.table, index);
+    benchmark::DoNotOptimize(invariants.size());
+  }
+}
+BENCHMARK(BM_InvariantGeneration)->Arg(1000)->Arg(10000);
+
+void BM_RuleMining(benchmark::State& state) {
+  pme::data::AdultSynthOptions options;
+  options.num_records = 2000;
+  auto dataset = pme::data::GenerateAdultLike(options).ValueOrDie();
+  pme::knowledge::MinerOptions miner;
+  miner.min_support_records = 3;
+  miner.max_attrs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto rules =
+        pme::knowledge::MineAssociationRules(dataset, miner).ValueOrDie();
+    benchmark::DoNotOptimize(rules.size());
+  }
+}
+BENCHMARK(BM_RuleMining)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_DualEvaluate(benchmark::State& state) {
+  auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
+  auto index = pme::constraints::TermIndex::Build(bz.table);
+  pme::constraints::ConstraintSystem system(index.num_variables());
+  system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
+  auto problem = pme::maxent::BuildProblem(system).ValueOrDie();
+  pme::maxent::DualFunction dual(&problem.eq, &problem.eq_rhs);
+  std::vector<double> lambda(dual.dim(), 0.1), grad;
+  for (auto _ : state) {
+    double v = dual.Evaluate(lambda, &grad, nullptr);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(problem.eq.nnz()));
+}
+BENCHMARK(BM_DualEvaluate)->Arg(1000)->Arg(10000);
+
+void BM_ClosedForm(benchmark::State& state) {
+  auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
+  auto index = pme::constraints::TermIndex::Build(bz.table);
+  for (auto _ : state) {
+    auto p = pme::maxent::ClosedFormNoKnowledge(bz.table, index);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_ClosedForm)->Arg(1000)->Arg(10000);
+
+void BM_SolveNoKnowledge(benchmark::State& state) {
+  auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
+  auto index = pme::constraints::TermIndex::Build(bz.table);
+  pme::constraints::ConstraintSystem system(index.num_variables());
+  system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
+  auto problem = pme::maxent::BuildProblem(system).ValueOrDie();
+  for (auto _ : state) {
+    auto result = pme::maxent::Solve(problem).ValueOrDie();
+    benchmark::DoNotOptimize(result.iterations);
+  }
+}
+BENCHMARK(BM_SolveNoKnowledge)->Arg(500)->Arg(2000);
+
+void BM_PresolveZeroHeavy(benchmark::State& state) {
+  // Zero-heavy systems (many hard-zero knowledge rows) are presolve's
+  // worst case: cascades of forcing passes.
+  auto bz = MakeBucketization(2000);
+  auto index = pme::constraints::TermIndex::Build(bz.table);
+  pme::constraints::ConstraintSystem system(index.num_variables());
+  system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
+  pme::knowledge::KnowledgeBase kb;
+  pme::Prng prng(3);
+  for (int i = 0; i < state.range(0); ++i) {
+    const uint32_t q = static_cast<uint32_t>(
+        prng.NextBounded(bz.table.num_qi_values()));
+    const uint32_t s = static_cast<uint32_t>(
+        prng.NextBounded(bz.table.num_sa_values()));
+    kb.Add(pme::knowledge::AbstractConditional(
+        q, {s}, bz.table.TrueConditional(q, s)));
+  }
+  auto compiled =
+      pme::constraints::CompileKnowledge(kb, bz.table, index).ValueOrDie();
+  system.AddAll(std::move(compiled.constraints));
+  auto problem = pme::maxent::BuildProblem(system).ValueOrDie();
+  for (auto _ : state) {
+    auto pre = pme::maxent::Presolve(problem).ValueOrDie();
+    benchmark::DoNotOptimize(pre.num_fixed);
+  }
+}
+BENCHMARK(BM_PresolveZeroHeavy)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// Knowledge about individuals (Section 6 of the paper).
+//
+// Reproduces the three worked examples on the Figure 4 pseudonym table:
+//   (1) "The probability that Alice has breast cancer is 0.2"
+//   (2) "Alice has either breast cancer or HIV"
+//   (3) "Two people among Alice, Bob and Charlie have HIV"
+// and shows the per-person posteriors the extended MaxEnt model derives.
+//
+// Run:  ./build/examples/adversary_individual
+
+#include <cstdio>
+
+#include "anonymize/bucketized_table.h"
+#include "anonymize/pseudonym.h"
+#include "core/individual_model.h"
+#include "knowledge/knowledge_base.h"
+
+namespace {
+
+using pme::anonymize::AbstractRecord;
+using pme::anonymize::BucketizedTable;
+
+constexpr uint32_t kQ1 = 0, kQ2 = 1, kQ5 = 4;
+constexpr uint32_t kS1 = 0, kS4 = 3;
+
+BucketizedTable MakeFigure1() {
+  std::vector<AbstractRecord> records = {
+      {0, 1, 0}, {0, 2, 0}, {1, 0, 0}, {2, 1, 0},
+      {0, 3, 1}, {2, 2, 1}, {3, 0, 1},
+      {1, 3, 2}, {4, 4, 2}, {5, 1, 2},
+  };
+  std::vector<std::string> sa_names = {"breast-cancer", "flu", "pneumonia",
+                                       "hiv", "lung-cancer"};
+  return BucketizedTable::Create(records, {}, sa_names).ValueOrDie();
+}
+
+void PrintPerson(const pme::core::IndividualModel& model,
+                 const BucketizedTable& table, const char* name,
+                 uint32_t pseudonym, const std::vector<double>& p) {
+  std::printf("  %-8s", name);
+  auto posterior = model.PosteriorFor(pseudonym, p);
+  for (uint32_t s = 0; s < table.num_sa_values(); ++s) {
+    std::printf(" %13.4f", posterior[s]);
+  }
+  std::printf("\n");
+}
+
+void PrintHeader(const BucketizedTable& table) {
+  std::printf("  %-8s", "person");
+  for (uint32_t s = 0; s < table.num_sa_values(); ++s) {
+    std::printf(" %13s", table.SaName(s).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const BucketizedTable table = MakeFigure1();
+  auto pseudonyms =
+      pme::anonymize::PseudonymTable::Create(&table).ValueOrDie();
+  std::printf(
+      "Section 6: pseudonym expansion of Figure 1(c) (Figure 4)\n"
+      "%zu pseudonyms; Alice ~ i1 (QI q1), Bob ~ i4 (q2), Charlie ~ i9 "
+      "(q5)\n\n",
+      pseudonyms.num_pseudonyms());
+
+  // The linking-attack setup: the adversary knows Alice, Bob and Charlie
+  // are in the data and resolves them to pseudonyms of their QI values.
+  const uint32_t alice = pseudonyms.ClaimPseudonym(kQ1).ValueOrDie();
+  const uint32_t bob = pseudonyms.ClaimPseudonym(kQ2).ValueOrDie();
+  const uint32_t charlie = pseudonyms.ClaimPseudonym(kQ5).ValueOrDie();
+
+  // --- Baseline: no individual knowledge.
+  {
+    auto model = pme::core::IndividualModel::Build(&pseudonyms).ValueOrDie();
+    auto result = model.Solve().ValueOrDie();
+    std::printf("=== No individual knowledge ===\n");
+    PrintHeader(table);
+    PrintPerson(model, table, "Alice", alice, result.p);
+    PrintPerson(model, table, "Bob", bob, result.p);
+    PrintPerson(model, table, "Charlie", charlie, result.p);
+  }
+
+  // --- Example (1): P(breast cancer | Alice) = 0.2.
+  {
+    auto model = pme::core::IndividualModel::Build(&pseudonyms).ValueOrDie();
+    pme::knowledge::KnowledgeBase kb;
+    pme::knowledge::IndividualStatement stmt;
+    stmt.kind = pme::knowledge::IndividualKind::kPersonSaSet;
+    stmt.terms = {{alice, kS1}};
+    stmt.probability = 0.2;
+    stmt.label = "P(breast-cancer | Alice) = 0.2";
+    kb.Add(stmt);
+    if (auto s = model.AddKnowledge(kb); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    auto result = model.Solve().ValueOrDie();
+    std::printf("\n=== (1) P(breast-cancer | Alice) = 0.2 ===\n");
+    PrintHeader(table);
+    PrintPerson(model, table, "Alice", alice, result.p);
+  }
+
+  // --- Example (2): Alice has either breast cancer or HIV.
+  {
+    auto model = pme::core::IndividualModel::Build(&pseudonyms).ValueOrDie();
+    pme::knowledge::KnowledgeBase kb;
+    pme::knowledge::IndividualStatement stmt;
+    stmt.terms = {{alice, kS1}, {alice, kS4}};
+    stmt.probability = 1.0;
+    stmt.label = "Alice has s1 or s4";
+    kb.Add(stmt);
+    (void)model.AddKnowledge(kb);
+    auto result = model.Solve().ValueOrDie();
+    std::printf("\n=== (2) Alice has breast-cancer or HIV ===\n");
+    PrintHeader(table);
+    PrintPerson(model, table, "Alice", alice, result.p);
+  }
+
+  // --- Example (3): two of {Alice, Bob, Charlie} have HIV.
+  {
+    auto model = pme::core::IndividualModel::Build(&pseudonyms).ValueOrDie();
+    pme::knowledge::KnowledgeBase kb;
+    pme::knowledge::IndividualStatement stmt;
+    stmt.kind = pme::knowledge::IndividualKind::kGroupCount;
+    stmt.terms = {{alice, kS4}, {bob, kS4}, {charlie, kS4}};
+    stmt.probability = 2.0;
+    stmt.label = "two of {Alice,Bob,Charlie} have HIV";
+    kb.Add(stmt);
+    (void)model.AddKnowledge(kb);
+    auto result = model.Solve().ValueOrDie();
+    std::printf("\n=== (3) Two of {Alice, Bob, Charlie} have HIV ===\n");
+    PrintHeader(table);
+    PrintPerson(model, table, "Alice", alice, result.p);
+    PrintPerson(model, table, "Bob", bob, result.p);
+    PrintPerson(model, table, "Charlie", charlie, result.p);
+    std::printf(
+        "\nThe HIV columns sum to 2.0 across the three people: the joint\n"
+        "count constraint is honoured while entropy spreads the residual\n"
+        "uncertainty as evenly as the published buckets allow.\n");
+  }
+  return 0;
+}

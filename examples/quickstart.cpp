@@ -1,0 +1,98 @@
+// Quickstart: the paper's running example (Figure 1) end to end.
+//
+// Builds the bucketized table of Figure 1(c), quantifies the adversary's
+// posterior P*(SA | QI) with no background knowledge, then adds the
+// paper's canonical knowledge ("males do not get breast cancer") and
+// shows how the posterior — and with it, privacy — changes.
+//
+// Run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "anonymize/bucketized_table.h"
+#include "core/privacy_maxent.h"
+#include "knowledge/knowledge_base.h"
+
+namespace {
+
+using pme::anonymize::AbstractRecord;
+using pme::anonymize::BucketizedTable;
+
+// q1={male,college} q2={female,college} q3={male,high-school}
+// q4={female,junior} q5={female,graduate} q6={male,graduate}
+// s1=breast-cancer s2=flu s3=pneumonia s4=hiv s5=lung-cancer
+constexpr uint32_t kQ1 = 0, kQ2 = 1, kQ3 = 2, kQ4 = 3, kQ5 = 4, kQ6 = 5;
+constexpr uint32_t kS1 = 0, kS4 = 3;
+
+BucketizedTable MakeFigure1() {
+  std::vector<AbstractRecord> records = {
+      {kQ1, 1, 0}, {kQ1, 2, 0}, {kQ2, kS1, 0}, {kQ3, 1, 0},
+      {kQ1, kS4, 1}, {kQ3, 2, 1}, {kQ4, kS1, 1},
+      {kQ2, kS4, 2}, {kQ5, 4, 2}, {kQ6, 1, 2},
+  };
+  std::vector<std::string> qi_names = {
+      "male/college", "female/college", "male/high-school",
+      "female/junior", "female/graduate", "male/graduate"};
+  std::vector<std::string> sa_names = {"breast-cancer", "flu", "pneumonia",
+                                       "hiv", "lung-cancer"};
+  return BucketizedTable::Create(records, qi_names, sa_names).ValueOrDie();
+}
+
+void PrintPosterior(const char* title, const BucketizedTable& table,
+                    const pme::core::Analysis& analysis) {
+  std::printf("\n%s\n", title);
+  std::printf("  %-18s", "P*(disease | QI)");
+  for (uint32_t s = 0; s < table.num_sa_values(); ++s) {
+    std::printf(" %13s", table.SaName(s).c_str());
+  }
+  std::printf("\n");
+  for (uint32_t q = 0; q < table.num_qi_values(); ++q) {
+    std::printf("  %-18s", table.QiName(q).c_str());
+    for (uint32_t s = 0; s < table.num_sa_values(); ++s) {
+      std::printf(" %13.4f", analysis.posterior.Conditional(q, s));
+    }
+    std::printf("\n");
+  }
+  std::printf("  estimation accuracy (weighted KL to truth): %.4f\n",
+              analysis.estimation_accuracy);
+  std::printf("  max disclosure: %.4f   min effective candidates: %.2f\n",
+              analysis.metrics.max_disclosure,
+              analysis.metrics.min_effective_candidates);
+}
+
+}  // namespace
+
+int main() {
+  const BucketizedTable table = MakeFigure1();
+  std::printf("Privacy-MaxEnt quickstart — SIGMOD'08 Figure 1 example\n");
+  std::printf("%zu records, %zu buckets, %u QI instances, %u diseases\n",
+              table.num_records(), table.num_buckets(),
+              table.num_qi_values(), table.num_sa_values());
+
+  // 1. No background knowledge: the classical uniform-portion posterior.
+  pme::knowledge::KnowledgeBase no_knowledge;
+  auto baseline = pme::core::Analyze(table, no_knowledge).ValueOrDie();
+  PrintPosterior("=== No background knowledge ===", table, baseline);
+
+  // 2. The paper's introduction example: common medical knowledge says
+  //    males do not get breast cancer. Express it as P(s1 | male-q) = 0
+  //    for each male QI instance.
+  pme::knowledge::KnowledgeBase kb;
+  for (uint32_t male_q : {kQ1, kQ3, kQ6}) {
+    kb.Add(pme::knowledge::AbstractConditional(male_q, {kS1}, 0.0));
+  }
+  auto informed = pme::core::Analyze(table, kb).ValueOrDie();
+  PrintPosterior(
+      "=== Knowledge: P(breast-cancer | male) = 0 ===", table, informed);
+
+  std::printf(
+      "\nAs the paper observes: both females (female/college in bucket 1,\n"
+      "female/junior in bucket 2) are now known to have breast cancer —\n"
+      "P*(breast-cancer | female/junior) = %.2f.\n",
+      informed.posterior.Conditional(kQ4, kS1));
+  std::printf(
+      "Privacy dropped: estimation accuracy %.4f -> %.4f (smaller = the\n"
+      "adversary's estimate is closer to the original data).\n",
+      baseline.estimation_accuracy, informed.estimation_accuracy);
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "anonymize/anatomy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/prng.h"
+
+namespace pme::anonymize {
+
+Result<std::vector<uint32_t>> AnatomyPartition(const data::Dataset& dataset,
+                                               const AnatomyOptions& options) {
+  if (options.ell == 0) {
+    return Status::InvalidArgument("ell must be positive");
+  }
+  if (dataset.num_records() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  PME_ASSIGN_OR_RETURN(const size_t sa_attr,
+                       dataset.schema().SoleSensitiveIndex());
+  const uint32_t num_sa =
+      dataset.schema().attribute(sa_attr).dictionary.size();
+
+  // One queue of record indices per SA value, in random (seeded) order so
+  // bucket composition is not an artifact of input order.
+  std::vector<std::vector<uint32_t>> queues(num_sa);
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    queues[dataset.At(r, sa_attr)].push_back(static_cast<uint32_t>(r));
+  }
+  Prng prng(options.seed);
+  for (auto& q : queues) prng.Shuffle(q);
+
+  // The most frequent SA value is exempt from the distinctness rule
+  // (paper footnote 3).
+  int64_t exempt = -1;
+  if (options.exempt_most_frequent) {
+    size_t best = 0;
+    for (uint32_t s = 0; s < num_sa; ++s) {
+      if (queues[s].size() > best) {
+        best = queues[s].size();
+        exempt = static_cast<int64_t>(s);
+      }
+    }
+  }
+
+  std::vector<uint32_t> partition(dataset.num_records(), 0);
+  size_t remaining = dataset.num_records();
+  uint32_t bucket = 0;
+
+  auto pop_record = [&](uint32_t value) {
+    const uint32_t rec = queues[value].back();
+    queues[value].pop_back();
+    partition[rec] = bucket;
+    --remaining;
+  };
+
+  while (remaining > 0) {
+    const size_t slots = std::min(options.ell, remaining);
+
+    // Values with records left, largest queue first (greedy largest-first
+    // maximizes the number of future distinct choices).
+    std::vector<uint32_t> order;
+    for (uint32_t s = 0; s < num_sa; ++s) {
+      if (!queues[s].empty()) order.push_back(s);
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (queues[a].size() != queues[b].size()) {
+        return queues[a].size() > queues[b].size();
+      }
+      return a < b;
+    });
+
+    size_t filled = 0;
+    for (uint32_t s : order) {
+      if (filled == slots) break;
+      pop_record(s);
+      ++filled;
+    }
+    // Shortfall: fewer distinct values than slots. Fill with exempt-value
+    // records (allowed to repeat), else fail the diversity contract.
+    while (filled < slots && exempt >= 0 &&
+           !queues[static_cast<uint32_t>(exempt)].empty()) {
+      pop_record(static_cast<uint32_t>(exempt));
+      ++filled;
+    }
+    if (filled < slots) {
+      // No exempt records left: repeating a non-exempt value would break
+      // ℓ-diversity for this bucket.
+      uint32_t worst = 0;
+      size_t best = 0;
+      for (uint32_t s = 0; s < num_sa; ++s) {
+        if (queues[s].size() > best) {
+          best = queues[s].size();
+          worst = s;
+        }
+      }
+      return Status::FailedPrecondition(
+          "dataset cannot be partitioned into ell-diverse buckets: SA value " +
+          dataset.schema().attribute(sa_attr).dictionary.ValueOf(worst) +
+          " is too frequent");
+    }
+    ++bucket;
+  }
+  return partition;
+}
+
+}  // namespace pme::anonymize

@@ -1,0 +1,47 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_ANONYMIZE_ANATOMY_H_
+#define PME_ANONYMIZE_ANATOMY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pme::anonymize {
+
+/// Options for the Anatomy-style ℓ-diversity bucketizer.
+struct AnatomyOptions {
+  /// Records per bucket and diversity target (paper: ℓ = 5).
+  size_t ell = 5;
+  /// Paper footnote 3 (after [17]): the most frequent SA value is treated
+  /// as non-sensitive and exempt from the distinctness requirement, which
+  /// is what makes 5-diversity achievable on Adult-like skew.
+  bool exempt_most_frequent = true;
+  /// Shuffle seed: ties between equal-count SA groups are broken randomly
+  /// but reproducibly.
+  uint64_t seed = 1;
+};
+
+/// Partitions the records of `dataset` into buckets of `ell` records such
+/// that within each bucket all non-exempt SA values are distinct
+/// (distinct-ℓ-diversity with the most-frequent-value exemption).
+///
+/// Algorithm (Xiao & Tao's Anatomy, greedy largest-group-first): maintain
+/// one queue of records per SA value; repeatedly emit a bucket holding one
+/// record from each of the ℓ currently largest queues. Records of the
+/// exempt value may fill multiple slots of a bucket when fewer than ℓ
+/// distinct values remain. Returns, for each record, its bucket index
+/// (dense, starting at 0).
+///
+/// Errors with kFailedPrecondition if the residue cannot be placed without
+/// violating diversity (e.g. one non-exempt value covers more than 1/ℓ of
+/// the data).
+Result<std::vector<uint32_t>> AnatomyPartition(const data::Dataset& dataset,
+                                               const AnatomyOptions& options = {});
+
+}  // namespace pme::anonymize
+
+#endif  // PME_ANONYMIZE_ANATOMY_H_

@@ -1,0 +1,158 @@
+#include "anonymize/bucketized_table.h"
+
+#include <algorithm>
+
+namespace pme::anonymize {
+
+Result<BucketizedTable> BucketizedTable::Create(
+    std::vector<AbstractRecord> records, std::vector<std::string> qi_names,
+    std::vector<std::string> sa_names) {
+  if (records.empty()) {
+    return Status::InvalidArgument("bucketized table needs >= 1 record");
+  }
+  uint32_t max_bucket = 0, max_qi = 0, max_sa = 0;
+  for (const auto& r : records) {
+    max_bucket = std::max(max_bucket, r.bucket);
+    max_qi = std::max(max_qi, r.qi);
+    max_sa = std::max(max_sa, r.sa);
+  }
+  const size_t m = static_cast<size_t>(max_bucket) + 1;
+
+  BucketizedTable t;
+  t.num_qi_ = max_qi + 1;
+  t.num_sa_ = max_sa + 1;
+  if (!qi_names.empty() && qi_names.size() < t.num_qi_) {
+    return Status::InvalidArgument("qi_names shorter than QI instance count");
+  }
+  if (!sa_names.empty() && sa_names.size() < t.num_sa_) {
+    return Status::InvalidArgument("sa_names shorter than SA instance count");
+  }
+  t.qi_names_ = std::move(qi_names);
+  t.sa_names_ = std::move(sa_names);
+  t.bucket_qis_.resize(m);
+  t.bucket_sas_.resize(m);
+  t.bucket_qi_counts_.resize(m);
+  t.bucket_sa_counts_.resize(m);
+  t.qi_buckets_.resize(t.num_qi_);
+  t.sa_buckets_.resize(t.num_sa_);
+  t.qi_totals_.assign(t.num_qi_, 0);
+
+  for (const auto& r : records) {
+    t.bucket_qis_[r.bucket].push_back(r.qi);
+    t.bucket_sas_[r.bucket].push_back(r.sa);
+    ++t.bucket_qi_counts_[r.bucket][r.qi];
+    ++t.bucket_sa_counts_[r.bucket][r.sa];
+    ++t.qi_totals_[r.qi];
+  }
+  for (size_t b = 0; b < m; ++b) {
+    if (t.bucket_qis_[b].empty()) {
+      return Status::InvalidArgument("bucket indices must be dense; bucket " +
+                                     std::to_string(b) + " is empty");
+    }
+    // Publish the SA multiset in sorted order: the original record order
+    // inside a bucket must not leak the binding.
+    std::sort(t.bucket_sas_[b].begin(), t.bucket_sas_[b].end());
+    for (const auto& [q, cnt] : t.bucket_qi_counts_[b]) {
+      t.qi_buckets_[q].push_back(static_cast<uint32_t>(b));
+    }
+    for (const auto& [s, cnt] : t.bucket_sa_counts_[b]) {
+      t.sa_buckets_[s].push_back(static_cast<uint32_t>(b));
+    }
+  }
+  t.records_ = std::move(records);
+  return t;
+}
+
+bool BucketizedTable::QiInBucket(uint32_t q, uint32_t b) const {
+  const auto& counts = bucket_qi_counts_[b];
+  return counts.find(q) != counts.end();
+}
+
+bool BucketizedTable::SaInBucket(uint32_t s, uint32_t b) const {
+  const auto& counts = bucket_sa_counts_[b];
+  return counts.find(s) != counts.end();
+}
+
+double BucketizedTable::ProbQ(uint32_t q) const {
+  return static_cast<double>(qi_totals_[q]) /
+         static_cast<double>(records_.size());
+}
+
+double BucketizedTable::ProbQB(uint32_t q, uint32_t b) const {
+  const auto& counts = bucket_qi_counts_[b];
+  auto it = counts.find(q);
+  if (it == counts.end()) return 0.0;
+  return static_cast<double>(it->second) /
+         static_cast<double>(records_.size());
+}
+
+double BucketizedTable::ProbSB(uint32_t s, uint32_t b) const {
+  const auto& counts = bucket_sa_counts_[b];
+  auto it = counts.find(s);
+  if (it == counts.end()) return 0.0;
+  return static_cast<double>(it->second) /
+         static_cast<double>(records_.size());
+}
+
+double BucketizedTable::ProbB(uint32_t b) const {
+  return static_cast<double>(bucket_qis_[b].size()) /
+         static_cast<double>(records_.size());
+}
+
+double BucketizedTable::TrueConditional(uint32_t q, uint32_t s) const {
+  size_t q_count = 0, qs_count = 0;
+  for (const auto& r : records_) {
+    if (r.qi == q) {
+      ++q_count;
+      if (r.sa == s) ++qs_count;
+    }
+  }
+  if (q_count == 0) return 0.0;
+  return static_cast<double>(qs_count) / static_cast<double>(q_count);
+}
+
+std::string BucketizedTable::QiName(uint32_t q) const {
+  if (q < qi_names_.size()) return qi_names_[q];
+  return "q" + std::to_string(q + 1);
+}
+
+std::string BucketizedTable::SaName(uint32_t s) const {
+  if (s < sa_names_.size()) return sa_names_[s];
+  return "s" + std::to_string(s + 1);
+}
+
+Result<DatasetBucketization> BucketizeDataset(
+    const data::Dataset& dataset, const std::vector<uint32_t>& partition) {
+  if (partition.size() != dataset.num_records()) {
+    return Status::InvalidArgument(
+        "partition size must equal the record count");
+  }
+  PME_ASSIGN_OR_RETURN(const size_t sa_attr,
+                       dataset.schema().SoleSensitiveIndex());
+  data::TupleEncoder encoder(dataset.schema().QiIndices());
+
+  std::vector<AbstractRecord> records(dataset.num_records());
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    records[r].qi = encoder.Encode(dataset, r);
+    records[r].sa = dataset.At(r, sa_attr);
+    records[r].bucket = partition[r];
+  }
+
+  std::vector<std::string> qi_names(encoder.size());
+  for (uint32_t q = 0; q < encoder.size(); ++q) {
+    qi_names[q] = encoder.ToString(dataset, q);
+  }
+  const auto& sa_dict = dataset.schema().attribute(sa_attr).dictionary;
+  std::vector<std::string> sa_names(sa_dict.size());
+  for (uint32_t s = 0; s < sa_dict.size(); ++s) {
+    sa_names[s] = sa_dict.ValueOf(s);
+  }
+
+  PME_ASSIGN_OR_RETURN(
+      BucketizedTable table,
+      BucketizedTable::Create(std::move(records), std::move(qi_names),
+                              std::move(sa_names)));
+  return DatasetBucketization{std::move(table), std::move(encoder), sa_attr};
+}
+
+}  // namespace pme::anonymize

@@ -1,0 +1,68 @@
+#include "anonymize/diversity.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace pme::anonymize {
+
+size_t DistinctDiversity(const BucketizedTable& table, uint32_t b,
+                         std::optional<uint32_t> exempt_sa) {
+  size_t distinct = 0;
+  for (const auto& [s, cnt] : table.BucketSaCounts(b)) {
+    if (exempt_sa.has_value() && s == *exempt_sa) continue;
+    ++distinct;
+  }
+  return distinct;
+}
+
+double EntropyDiversity(const BucketizedTable& table, uint32_t b) {
+  const auto& counts = table.BucketSaCounts(b);
+  double total = 0.0;
+  for (const auto& [s, cnt] : counts) total += cnt;
+  double h = 0.0;
+  for (const auto& [s, cnt] : counts) {
+    const double p = cnt / total;
+    h -= XLogX(p);
+  }
+  return std::exp(h);
+}
+
+DiversityReport MeasureDiversity(const BucketizedTable& table,
+                                 std::optional<uint32_t> exempt_sa,
+                                 size_t ell_target) {
+  DiversityReport report;
+  report.min_distinct = std::numeric_limits<size_t>::max();
+  report.min_entropy_ell = std::numeric_limits<double>::max();
+  for (uint32_t b = 0; b < table.num_buckets(); ++b) {
+    size_t d = DistinctDiversity(table, b, exempt_sa);
+    const bool all_exempt = exempt_sa.has_value() && d == 0 &&
+                            table.BucketSaCounts(b).size() == 1;
+    if (all_exempt) d = ell_target;
+    if (d < report.min_distinct) {
+      report.min_distinct = d;
+      report.worst_bucket = b;
+    }
+    report.min_entropy_ell =
+        std::min(report.min_entropy_ell, EntropyDiversity(table, b));
+  }
+  return report;
+}
+
+bool SatisfiesDistinctDiversity(const BucketizedTable& table, size_t ell,
+                                std::optional<uint32_t> exempt_sa) {
+  return MeasureDiversity(table, exempt_sa, ell).min_distinct >= ell;
+}
+
+uint32_t MostFrequentSa(const BucketizedTable& table) {
+  std::vector<size_t> counts(table.num_sa_values(), 0);
+  for (const auto& r : table.records()) ++counts[r.sa];
+  uint32_t best = 0;
+  for (uint32_t s = 1; s < counts.size(); ++s) {
+    if (counts[s] > counts[best]) best = s;
+  }
+  return best;
+}
+
+}  // namespace pme::anonymize

@@ -1,0 +1,54 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_ANONYMIZE_DIVERSITY_H_
+#define PME_ANONYMIZE_DIVERSITY_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "anonymize/bucketized_table.h"
+
+namespace pme::anonymize {
+
+/// Diversity measurements over a published bucketized table. These are the
+/// classical pre-background-knowledge privacy criteria the paper builds on
+/// (Section 2).
+struct DiversityReport {
+  /// Minimum over buckets of the number of distinct SA instances
+  /// (the "distinct ℓ-diversity" ℓ of the table).
+  size_t min_distinct = 0;
+  /// Minimum over buckets of exp(H(SA | bucket)) — entropy ℓ-diversity.
+  double min_entropy_ell = 0.0;
+  /// Index of the bucket realizing min_distinct.
+  uint32_t worst_bucket = 0;
+};
+
+/// Number of distinct SA instances in bucket `b`, not counting
+/// `exempt_sa` if provided (paper footnote 3 treats the most frequent SA
+/// value as non-sensitive).
+size_t DistinctDiversity(const BucketizedTable& table, uint32_t b,
+                         std::optional<uint32_t> exempt_sa = std::nullopt);
+
+/// exp of the Shannon entropy of the SA multiset of bucket `b` — the
+/// "effective number" of SA values an adversary must distinguish.
+double EntropyDiversity(const BucketizedTable& table, uint32_t b);
+
+/// Whole-table diversity summary. With `exempt_sa` set, buckets consisting
+/// solely of the exempt value count as diversity `ell_target` (they carry
+/// no sensitive information at all).
+DiversityReport MeasureDiversity(const BucketizedTable& table,
+                                 std::optional<uint32_t> exempt_sa = std::nullopt,
+                                 size_t ell_target = 0);
+
+/// True iff every bucket has at least `ell` distinct non-exempt SA
+/// instances (or is all-exempt).
+bool SatisfiesDistinctDiversity(const BucketizedTable& table, size_t ell,
+                                std::optional<uint32_t> exempt_sa = std::nullopt);
+
+/// The most frequent SA instance of the table (the exemption candidate).
+uint32_t MostFrequentSa(const BucketizedTable& table);
+
+}  // namespace pme::anonymize
+
+#endif  // PME_ANONYMIZE_DIVERSITY_H_

@@ -1,0 +1,212 @@
+#include "anonymize/generalization.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+
+namespace pme::anonymize {
+
+ValueHierarchy ValueHierarchy::Flat(uint32_t cardinality) {
+  ValueHierarchy h;
+  // Level 0: identity.
+  std::vector<uint32_t> identity(cardinality);
+  std::iota(identity.begin(), identity.end(), 0u);
+  std::vector<std::string> identity_labels(cardinality);
+  for (uint32_t v = 0; v < cardinality; ++v) {
+    identity_labels[v] = "v" + std::to_string(v);
+  }
+  h.groups_.push_back(std::move(identity));
+  h.labels_.push_back(std::move(identity_labels));
+  h.num_groups_.push_back(cardinality);
+  // Top level: everything suppressed to '*'.
+  h.groups_.emplace_back(cardinality, 0u);
+  h.labels_.push_back({"*"});
+  h.num_groups_.push_back(1);
+  return h;
+}
+
+Result<ValueHierarchy> ValueHierarchy::Create(
+    uint32_t cardinality, std::vector<std::vector<uint32_t>> level_groups,
+    std::vector<std::vector<std::string>> level_labels) {
+  if (level_groups.size() != level_labels.size()) {
+    return Status::InvalidArgument("level_groups/level_labels size mismatch");
+  }
+  ValueHierarchy h = Flat(cardinality);
+  // Insert the intermediate levels between identity and suppression.
+  std::vector<uint32_t> previous = h.groups_[0];
+  for (size_t l = 0; l < level_groups.size(); ++l) {
+    const auto& mapping = level_groups[l];
+    if (mapping.size() != cardinality) {
+      return Status::InvalidArgument("level mapping must cover every value");
+    }
+    uint32_t max_group = 0;
+    for (uint32_t g : mapping) max_group = std::max(max_group, g);
+    if (static_cast<size_t>(max_group) + 1 != level_labels[l].size()) {
+      return Status::InvalidArgument(
+          "level labels must match the number of groups");
+    }
+    // Coarsening check: values sharing a previous-level group must share
+    // a group at this level too.
+    std::unordered_map<uint32_t, uint32_t> coarse_of;
+    for (uint32_t v = 0; v < cardinality; ++v) {
+      auto [it, inserted] = coarse_of.emplace(previous[v], mapping[v]);
+      if (!inserted && it->second != mapping[v]) {
+        return Status::InvalidArgument(
+            "level " + std::to_string(l + 1) +
+            " is not a coarsening of the previous level");
+      }
+    }
+    previous = mapping;
+    h.groups_.insert(h.groups_.end() - 1, mapping);
+    h.labels_.insert(h.labels_.end() - 1, level_labels[l]);
+    h.num_groups_.insert(h.num_groups_.end() - 1, max_group + 1);
+  }
+  return h;
+}
+
+std::string GeneralizationLevels::ToString() const {
+  std::ostringstream oss;
+  oss << "<";
+  for (size_t i = 0; i < level.size(); ++i) {
+    if (i > 0) oss << ",";
+    oss << level[i];
+  }
+  oss << ">";
+  return oss.str();
+}
+
+Result<Generalizer> Generalizer::CreateFlat(const data::Dataset* dataset) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset must not be null");
+  }
+  std::vector<ValueHierarchy> hierarchies;
+  for (size_t attr : dataset->schema().QiIndices()) {
+    hierarchies.push_back(
+        ValueHierarchy::Flat(dataset->schema().attribute(attr).dictionary.size()));
+  }
+  return Create(dataset, std::move(hierarchies));
+}
+
+Result<Generalizer> Generalizer::Create(
+    const data::Dataset* dataset, std::vector<ValueHierarchy> hierarchies) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset must not be null");
+  }
+  Generalizer g;
+  g.dataset_ = dataset;
+  g.qi_attrs_ = dataset->schema().QiIndices();
+  if (hierarchies.size() != g.qi_attrs_.size()) {
+    return Status::InvalidArgument(
+        "need exactly one hierarchy per QI attribute");
+  }
+  for (size_t i = 0; i < hierarchies.size(); ++i) {
+    const uint32_t card =
+        dataset->schema().attribute(g.qi_attrs_[i]).dictionary.size();
+    if (hierarchies[i].GroupOf(0, card - 1) != card - 1) {
+      return Status::InvalidArgument(
+          "hierarchy level 0 must be the identity over the dictionary");
+    }
+  }
+  g.hierarchies_ = std::move(hierarchies);
+  return g;
+}
+
+std::vector<uint32_t> Generalizer::Classes(
+    const GeneralizationLevels& levels) const {
+  struct VectorHash {
+    size_t operator()(const std::vector<uint32_t>& v) const {
+      size_t h = 1469598103934665603ULL;
+      for (uint32_t x : v) {
+        h ^= x;
+        h *= 1099511628211ULL;
+      }
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<uint32_t>, uint32_t, VectorHash> ids;
+  std::vector<uint32_t> classes(dataset_->num_records());
+  std::vector<uint32_t> key(qi_attrs_.size());
+  for (size_t r = 0; r < dataset_->num_records(); ++r) {
+    for (size_t i = 0; i < qi_attrs_.size(); ++i) {
+      key[i] = hierarchies_[i].GroupOf(levels.level[i],
+                                       dataset_->At(r, qi_attrs_[i]));
+    }
+    auto [it, inserted] =
+        ids.emplace(key, static_cast<uint32_t>(ids.size()));
+    classes[r] = it->second;
+  }
+  return classes;
+}
+
+size_t Generalizer::MinClassSize(const GeneralizationLevels& levels) const {
+  auto classes = Classes(levels);
+  std::vector<size_t> counts;
+  for (uint32_t c : classes) {
+    if (c >= counts.size()) counts.resize(c + 1, 0);
+    ++counts[c];
+  }
+  size_t smallest = dataset_->num_records();
+  for (size_t c : counts) smallest = std::min(smallest, c);
+  return smallest;
+}
+
+Result<GeneralizationLevels> Generalizer::SearchKAnonymous(size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > dataset_->num_records()) {
+    return Status::FailedPrecondition(
+        "k exceeds the number of records; no recoding can reach it");
+  }
+  GeneralizationLevels levels;
+  levels.level.assign(qi_attrs_.size(), 0);
+
+  auto violating_records = [this, k](const GeneralizationLevels& l) {
+    auto classes = Classes(l);
+    std::vector<size_t> counts;
+    for (uint32_t c : classes) {
+      if (c >= counts.size()) counts.resize(c + 1, 0);
+      ++counts[c];
+    }
+    size_t violating = 0;
+    for (uint32_t c : classes) {
+      if (counts[c] < k) ++violating;
+    }
+    return violating;
+  };
+
+  size_t current = violating_records(levels);
+  while (current > 0) {
+    // Promote the attribute whose single-level raise reduces violations
+    // the most (ties: the one with the most remaining headroom).
+    size_t best_attr = SIZE_MAX;
+    size_t best_violating = current;
+    for (size_t i = 0; i < qi_attrs_.size(); ++i) {
+      if (levels.level[i] + 1 >= hierarchies_[i].num_levels()) continue;
+      GeneralizationLevels trial = levels;
+      ++trial.level[i];
+      const size_t v = violating_records(trial);
+      if (best_attr == SIZE_MAX || v < best_violating) {
+        best_attr = i;
+        best_violating = v;
+      }
+    }
+    if (best_attr == SIZE_MAX) {
+      return Status::Internal(
+          "generalization lattice exhausted before reaching k-anonymity");
+    }
+    ++levels.level[best_attr];
+    current = best_violating;
+  }
+  return levels;
+}
+
+Result<DatasetBucketization> Generalizer::ToBucketizedTable(
+    const GeneralizationLevels& levels) const {
+  if (levels.level.size() != qi_attrs_.size()) {
+    return Status::InvalidArgument("levels arity mismatch");
+  }
+  return BucketizeDataset(*dataset_, Classes(levels));
+}
+
+}  // namespace pme::anonymize

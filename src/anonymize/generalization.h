@@ -1,0 +1,123 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_ANONYMIZE_GENERALIZATION_H_
+#define PME_ANONYMIZE_GENERALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anonymize/bucketized_table.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pme::anonymize {
+
+/// A generalization taxonomy for one categorical attribute: a stack of
+/// levels, where level 0 is the identity (the raw values) and each higher
+/// level merges values into coarser groups, ending at the one-group
+/// suppression level '*'.
+///
+/// This is the substrate for the paper's first future-work direction —
+/// "apply the similar method to other data disguising methods, such as
+/// generalization".
+class ValueHierarchy {
+ public:
+  /// Identity-plus-suppression hierarchy (two meaningful levels) for an
+  /// attribute with `cardinality` values.
+  static ValueHierarchy Flat(uint32_t cardinality);
+
+  /// Builds a hierarchy with the given intermediate levels. Each level is
+  /// a vector mapping a raw value code to its group index at that level,
+  /// with parallel group labels. Levels must be ordered fine-to-coarse
+  /// and each must be a coarsening of the previous one (validated).
+  static Result<ValueHierarchy> Create(
+      uint32_t cardinality,
+      std::vector<std::vector<uint32_t>> level_groups,
+      std::vector<std::vector<std::string>> level_labels);
+
+  /// Number of levels including identity (level 0) and suppression (top).
+  size_t num_levels() const { return groups_.size(); }
+
+  /// Group of raw code `value` at `level`.
+  uint32_t GroupOf(size_t level, uint32_t value) const {
+    return groups_[level][value];
+  }
+  /// Number of groups at `level`.
+  uint32_t NumGroups(size_t level) const { return num_groups_[level]; }
+  /// Display label of group `g` at `level`.
+  const std::string& LabelOf(size_t level, uint32_t group) const {
+    return labels_[level][group];
+  }
+
+ private:
+  // groups_[level][code] -> group id; level 0 is identity.
+  std::vector<std::vector<uint32_t>> groups_;
+  std::vector<std::vector<std::string>> labels_;
+  std::vector<uint32_t> num_groups_;
+};
+
+/// A full-domain global recoding: one generalization level per QI
+/// attribute (the classical Incognito/Samarati search space).
+struct GeneralizationLevels {
+  std::vector<size_t> level;  // indexed by QI position
+
+  std::string ToString() const;
+};
+
+/// Generalization engine for a dataset: owns one hierarchy per QI
+/// attribute and evaluates/produces recodings.
+class Generalizer {
+ public:
+  /// Uses Flat() hierarchies for every QI attribute. `dataset` must
+  /// outlive the generalizer.
+  static Result<Generalizer> CreateFlat(const data::Dataset* dataset);
+
+  /// Uses caller-provided hierarchies (one per QI attribute, in QI-index
+  /// order).
+  static Result<Generalizer> Create(const data::Dataset* dataset,
+                                    std::vector<ValueHierarchy> hierarchies);
+
+  const std::vector<size_t>& qi_attrs() const { return qi_attrs_; }
+  const ValueHierarchy& hierarchy(size_t qi_pos) const {
+    return hierarchies_[qi_pos];
+  }
+
+  /// Size of the smallest equivalence class under `levels` (the
+  /// k-anonymity parameter the recoding achieves).
+  size_t MinClassSize(const GeneralizationLevels& levels) const;
+
+  /// Finds a minimal-ish full-domain recoding achieving k-anonymity by
+  /// greedy bottom-up search: repeatedly raise the level of the attribute
+  /// whose promotion shrinks the number of records in violating classes
+  /// the most. Errors if even full suppression cannot reach k (k > N).
+  Result<GeneralizationLevels> SearchKAnonymous(size_t k) const;
+
+  /// The generalized equivalence-class partition: records mapped to dense
+  /// class ids under `levels`.
+  std::vector<uint32_t> Classes(const GeneralizationLevels& levels) const;
+
+  /// Bridges a generalized release to the Privacy-MaxEnt machinery: each
+  /// equivalence class becomes one bucket whose SA multiset is published.
+  ///
+  /// MODELING NOTE: a generalized release publishes only the *generalized*
+  /// QI tuple per class, not the raw tuples a bucketized release would
+  /// show. Analyzing it with the Section-5 invariants therefore adopts a
+  /// worst-case adversary who knows the raw QI multiset of each class
+  /// (e.g. from an external identified register, the same assumption that
+  /// powers linking attacks). See DESIGN.md for the discussion.
+  Result<DatasetBucketization> ToBucketizedTable(
+      const GeneralizationLevels& levels) const;
+
+ private:
+  Generalizer() = default;
+
+  const data::Dataset* dataset_ = nullptr;
+  std::vector<size_t> qi_attrs_;
+  std::vector<ValueHierarchy> hierarchies_;
+};
+
+}  // namespace pme::anonymize
+
+#endif  // PME_ANONYMIZE_GENERALIZATION_H_

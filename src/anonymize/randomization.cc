@@ -1,0 +1,80 @@
+#include "anonymize/randomization.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/prng.h"
+#include "data/stats.h"
+
+namespace pme::anonymize {
+
+Result<RandomizedRelease> RandomizeResponse(
+    const data::Dataset& dataset, const RandomizedResponseOptions& options) {
+  if (options.retention <= 0.0 || options.retention > 1.0) {
+    return Status::InvalidArgument("retention must lie in (0, 1]");
+  }
+  PME_ASSIGN_OR_RETURN(const size_t sa_attr,
+                       dataset.schema().SoleSensitiveIndex());
+  const uint32_t domain =
+      dataset.schema().attribute(sa_attr).dictionary.size();
+  if (domain < 2) {
+    return Status::FailedPrecondition(
+        "randomized response needs at least two sensitive values");
+  }
+
+  RandomizedRelease release{data::Dataset(dataset.schema()),
+                            options.retention, domain};
+  Prng prng(options.seed);
+  for (size_t r = 0; r < dataset.num_records(); ++r) {
+    std::vector<uint32_t> codes = dataset.Record(r);
+    if (prng.NextDouble() >= options.retention) {
+      codes[sa_attr] = static_cast<uint32_t>(prng.NextBounded(domain));
+    }
+    PME_RETURN_IF_ERROR(release.dataset.AppendRecord(std::move(codes)));
+  }
+  return release;
+}
+
+Result<std::vector<double>> ReconstructSaDistribution(
+    const RandomizedRelease& release) {
+  PME_ASSIGN_OR_RETURN(const size_t sa_attr,
+                       release.dataset.schema().SoleSensitiveIndex());
+  data::DatasetStats stats(&release.dataset);
+  const std::vector<double> observed = stats.Marginal(sa_attr);
+
+  const double r = release.retention;
+  const double noise = (1.0 - r) / release.domain;
+  std::vector<double> truth(observed.size());
+  for (size_t i = 0; i < observed.size(); ++i) {
+    truth[i] = std::max(0.0, (observed[i] - noise) / r);
+  }
+  if (!NormalizeInPlace(truth)) {
+    return Status::NumericalError(
+        "reconstructed distribution degenerated to zero");
+  }
+  return truth;
+}
+
+Result<std::vector<double>> RecordPosterior(const RandomizedRelease& release,
+                                            uint32_t observed_sa,
+                                            const std::vector<double>& prior) {
+  if (observed_sa >= release.domain) {
+    return Status::InvalidArgument("observed value out of the SA domain");
+  }
+  if (prior.size() != release.domain) {
+    return Status::InvalidArgument("prior arity mismatch");
+  }
+  const double r = release.retention;
+  const double noise = (1.0 - r) / release.domain;
+  std::vector<double> posterior(release.domain);
+  for (uint32_t t = 0; t < release.domain; ++t) {
+    const double likelihood = (t == observed_sa ? r : 0.0) + noise;
+    posterior[t] = likelihood * prior[t];
+  }
+  if (!NormalizeInPlace(posterior)) {
+    return Status::NumericalError("posterior normalization failed");
+  }
+  return posterior;
+}
+
+}  // namespace pme::anonymize

@@ -1,0 +1,65 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_ANONYMIZE_RANDOMIZATION_H_
+#define PME_ANONYMIZE_RANDOMIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pme::anonymize {
+
+/// Randomized-response disguising of the sensitive attribute — the
+/// second disguising family the paper's future work points at
+/// ("randomization", citing Agrawal–Srikant and Warner-style randomized
+/// response).
+///
+/// Each record keeps its true SA value with probability `retention` and
+/// otherwise reports a value drawn uniformly from the SA domain. The
+/// perturbation matrix is  M = r·I + (1−r)/m · 1  (m = domain size), so
+/// observed distribution = M · true distribution, which is invertible
+/// for any r > 0:  true = M⁻¹ · observed.
+struct RandomizedResponseOptions {
+  /// Probability of reporting the true value (Warner's p).
+  double retention = 0.7;
+  uint64_t seed = 99;
+};
+
+/// The perturbed release plus everything needed for reconstruction.
+struct RandomizedRelease {
+  /// Same schema as the input, SA column perturbed.
+  data::Dataset dataset;
+  double retention = 0.0;
+  /// SA domain size m.
+  uint32_t domain = 0;
+};
+
+/// Perturbs the sole sensitive attribute of `dataset`.
+Result<RandomizedRelease> RandomizeResponse(
+    const data::Dataset& dataset, const RandomizedResponseOptions& options = {});
+
+/// Unbiased reconstruction of the true SA marginal from the perturbed
+/// release:  true = M⁻¹ · observed, with
+/// M⁻¹ = (I − (1−r)/m·1/ r... ) computed in closed form:
+///   true_i = (observed_i − (1−r)/m) / r.
+/// Entries are clipped at 0 and renormalized (finite-sample noise can
+/// push raw estimates slightly negative).
+Result<std::vector<double>> ReconstructSaDistribution(
+    const RandomizedRelease& release);
+
+/// The adversary's posterior over a single record's true SA value given
+/// its *observed* (perturbed) value and the reconstructed prior:
+///   P(true = t | obs = o) ∝ M[o][t] · prior[t],
+/// where M[o][t] = r·[o==t] + (1−r)/m. This is the randomization
+/// counterpart of the bucketization posterior P*(SA | QI) and plugs into
+/// the same privacy metrics.
+Result<std::vector<double>> RecordPosterior(const RandomizedRelease& release,
+                                            uint32_t observed_sa,
+                                            const std::vector<double>& prior);
+
+}  // namespace pme::anonymize
+
+#endif  // PME_ANONYMIZE_RANDOMIZATION_H_

@@ -1,0 +1,58 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_COMMON_LOGGING_H_
+#define PME_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pme {
+
+/// Severity of a log line. `kFatal` aborts the process after printing.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum severity. Lines below this level are dropped. Defaults to
+/// kInfo; benches set kWarning to keep their table output clean.
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink used by the PME_LOG macro; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: PME_LOG(kInfo) << "solved in " << iters << " iterations";
+#define PME_LOG(severity)                                          \
+  ::pme::internal::LogMessage(::pme::LogLevel::severity, __FILE__, \
+                              __LINE__)
+
+/// Checks a condition in all build types; logs and aborts on failure.
+/// Reserved for internal invariants whose violation means a library bug.
+#define PME_CHECK(cond)                                             \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      PME_LOG(kFatal) << "Check failed: " #cond;                    \
+    }                                                               \
+  } while (0)
+
+}  // namespace pme
+
+#endif  // PME_COMMON_LOGGING_H_

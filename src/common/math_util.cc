@@ -1,0 +1,89 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace pme {
+
+double SafeExp(double x) {
+  if (x > 708.0) x = 708.0;
+  if (x < -708.0) x = -708.0;
+  return std::exp(x);
+}
+
+double XLogX(double x) {
+  if (x <= 0.0) return 0.0;
+  return x * std::log(x);
+}
+
+double Entropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double v : p) h -= XLogX(v);
+  return h;
+}
+
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                    double q_floor) {
+  assert(p.size() == q.size());
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    const double qi = std::max(q[i], q_floor);
+    kl += p[i] * std::log(p[i] / qi);
+  }
+  return kl;
+}
+
+double LogSumExp(const std::vector<double>& x) {
+  if (x.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double v : x) sum += std::exp(v - m);
+  return m + std::log(sum);
+}
+
+double InfNorm(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double TwoNorm(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  assert(x.size() == y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+bool NormalizeInPlace(std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  if (sum <= 0.0) return false;
+  for (double& x : v) x /= sum;
+  return true;
+}
+
+double BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double c = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    c = c * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return c;
+}
+
+}  // namespace pme

@@ -1,0 +1,38 @@
+#include "common/status.h"
+
+namespace pme {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kNumericalError:
+      return "numerical_error";
+    case StatusCode::kNotConverged:
+      return "not_converged";
+    case StatusCode::kInfeasible:
+      return "infeasible";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kNotImplemented:
+      return "not_implemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::ostringstream oss;
+  oss << StatusCodeToString(code_) << ": " << message_;
+  return oss.str();
+}
+
+}  // namespace pme

@@ -1,0 +1,188 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_COMMON_STATUS_H_
+#define PME_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pme {
+
+/// Machine-readable category of a failure.
+///
+/// Mirrors the error taxonomy used by production storage engines
+/// (RocksDB/Arrow): a small closed set of codes plus a free-form message.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Caller passed an argument that violates the API contract.
+  kInvalidArgument = 1,
+  /// A lookup (attribute, value, bucket, variable) found nothing.
+  kNotFound = 2,
+  /// The operation is valid in general but not in the current state.
+  kFailedPrecondition = 3,
+  /// An arithmetic or numerical failure (overflow, NaN, singular matrix).
+  kNumericalError = 4,
+  /// An iterative solver stopped before reaching its tolerance.
+  kNotConverged = 5,
+  /// The constraint system admits no feasible distribution.
+  kInfeasible = 6,
+  /// I/O failure (file missing, parse error).
+  kIoError = 7,
+  /// Feature is specified by the paper but not implemented in this build.
+  kNotImplemented = 8,
+  /// Internal invariant violated; indicates a bug in this library.
+  kInternal = 9,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok",
+/// "invalid_argument", ...). Stable across releases; safe to log/parse.
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// `Status` is the uniform error channel of the library: any operation that
+/// can fail returns `Status` (or `Result<T>`, which carries a payload).
+/// Exceptions are never thrown across public API boundaries.
+///
+/// Usage:
+/// ```
+///   Status s = table.Validate();
+///   if (!s.ok()) return s;  // propagate
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory for the (singleton-like) OK status.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The machine-readable code.
+  StatusCode code() const { return code_; }
+  /// The human-readable message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// Renders "code: message" for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union: either holds a `T` or a non-OK `Status`.
+///
+/// The payload accessors assert on misuse in debug builds; production
+/// callers must check `ok()` first (or use `ValueOrDie()` in tests).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result<T> must not be built from an OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; `Status::Ok()` when a value is present.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  /// Borrow the value. Precondition: `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  /// Move the value out. Precondition: `ok()`.
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Test helper: returns the value or aborts with the error text.
+  T ValueOrDie() && {
+    if (!ok()) {
+      // Intentional hard failure: used only in tests and examples.
+      std::abort();
+    }
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK `Status` out of the current function.
+#define PME_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::pme::Status _pme_status = (expr);        \
+    if (!_pme_status.ok()) return _pme_status; \
+  } while (0)
+
+/// Evaluates a `Result<T>` expression, propagating failure, else binds
+/// the value into `lhs`.
+#define PME_ASSIGN_OR_RETURN(lhs, expr)                \
+  PME_ASSIGN_OR_RETURN_IMPL(                           \
+      PME_STATUS_CONCAT(_pme_result_, __LINE__), lhs, expr)
+#define PME_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+#define PME_STATUS_CONCAT(a, b) PME_STATUS_CONCAT_IMPL(a, b)
+#define PME_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace pme
+
+#endif  // PME_COMMON_STATUS_H_

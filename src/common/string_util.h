@@ -1,0 +1,38 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_COMMON_STRING_UTIL_H_
+#define PME_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pme {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True iff `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a base-10 integer; returns false on any non-numeric content.
+bool ParseInt(std::string_view s, long long* out);
+
+/// Parses a double; returns false on any non-numeric content.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Renders a double with enough precision to round-trip, trimming
+/// trailing zeros for readability ("0.25", "1", "0.3333333333333333").
+std::string FormatDouble(double v);
+
+}  // namespace pme
+
+#endif  // PME_COMMON_STRING_UTIL_H_

@@ -1,0 +1,83 @@
+#include "core/criteria.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pme::core {
+
+std::vector<double> GlobalSaDistribution(
+    const anonymize::BucketizedTable& table) {
+  std::vector<double> dist(table.num_sa_values(), 0.0);
+  for (uint32_t b = 0; b < table.num_buckets(); ++b) {
+    for (const auto& [s, cnt] : table.BucketSaCounts(b)) {
+      dist[s] += static_cast<double>(cnt);
+    }
+  }
+  const double n = static_cast<double>(table.num_records());
+  for (double& d : dist) d /= n;
+  return dist;
+}
+
+TClosenessReport MeasureTCloseness(const anonymize::BucketizedTable& table) {
+  const std::vector<double> global = GlobalSaDistribution(table);
+  TClosenessReport report;
+  for (uint32_t b = 0; b < table.num_buckets(); ++b) {
+    const double size = static_cast<double>(table.BucketSas(b).size());
+    // Total variation = 1/2 L1 distance.
+    double tv = 0.0;
+    for (uint32_t s = 0; s < table.num_sa_values(); ++s) {
+      const auto& counts = table.BucketSaCounts(b);
+      auto it = counts.find(s);
+      const double p = it == counts.end()
+                           ? 0.0
+                           : static_cast<double>(it->second) / size;
+      tv += std::fabs(p - global[s]);
+    }
+    tv *= 0.5;
+    if (tv > report.max_distance) {
+      report.max_distance = tv;
+      report.worst_bucket = b;
+    }
+  }
+  return report;
+}
+
+bool SatisfiesTCloseness(const anonymize::BucketizedTable& table, double t) {
+  return MeasureTCloseness(table).max_distance <= t;
+}
+
+RecursiveDiversityReport MeasureRecursiveDiversity(
+    const anonymize::BucketizedTable& table, size_t ell) {
+  RecursiveDiversityReport report;
+  for (uint32_t b = 0; b < table.num_buckets(); ++b) {
+    std::vector<double> counts;
+    for (const auto& [s, cnt] : table.BucketSaCounts(b)) {
+      counts.push_back(static_cast<double>(cnt));
+    }
+    std::sort(counts.rbegin(), counts.rend());
+    if (counts.size() < ell) {
+      report.feasible = false;
+      report.worst_bucket = b;
+      report.min_c = std::numeric_limits<double>::infinity();
+      return report;
+    }
+    double tail = 0.0;
+    for (size_t i = ell - 1; i < counts.size(); ++i) tail += counts[i];
+    const double c = tail > 0.0 ? counts[0] / tail
+                                : std::numeric_limits<double>::infinity();
+    if (c > report.min_c) {
+      report.min_c = c;
+      report.worst_bucket = b;
+    }
+  }
+  return report;
+}
+
+bool SatisfiesRecursiveDiversity(const anonymize::BucketizedTable& table,
+                                 double c, size_t ell) {
+  const auto report = MeasureRecursiveDiversity(table, ell);
+  return report.feasible && report.min_c < c;
+}
+
+}  // namespace pme::core

@@ -1,0 +1,61 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_CORE_CRITERIA_H_
+#define PME_CORE_CRITERIA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "anonymize/bucketized_table.h"
+
+namespace pme::core {
+
+/// The classical syntactic privacy criteria the paper positions itself
+/// against (Section 2): k-anonymity-era checks evaluated on the published
+/// table itself, with no adversary model. Privacy-MaxEnt replaces them
+/// with the posterior-based measures in posterior.h; these are provided
+/// both for comparison and because real deployments report them.
+
+/// t-closeness (Li et al., ICDE'07): the distance between each bucket's
+/// SA distribution and the table-wide SA distribution must be at most t.
+/// For categorical SA without a ground hierarchy the standard distance is
+/// total variation (equal-ground EMD).
+struct TClosenessReport {
+  /// max over buckets of TV(bucket SA distribution, global distribution).
+  double max_distance = 0.0;
+  uint32_t worst_bucket = 0;
+};
+
+TClosenessReport MeasureTCloseness(const anonymize::BucketizedTable& table);
+
+/// True iff every bucket is within distance `t` of the global SA
+/// distribution.
+bool SatisfiesTCloseness(const anonymize::BucketizedTable& table, double t);
+
+/// Recursive (c, ℓ)-diversity (Machanavajjhala et al.): in every bucket,
+/// with SA counts r_1 >= r_2 >= ... >= r_m, require
+///   r_1 < c * (r_ℓ + r_{ℓ+1} + ... + r_m).
+/// Returns the smallest c that satisfies the condition at the given ℓ
+/// (so the table is (c', ℓ)-diverse for any c' > result).
+struct RecursiveDiversityReport {
+  double min_c = 0.0;
+  uint32_t worst_bucket = 0;
+  /// False when some bucket has fewer than ℓ distinct values (the
+  /// criterion is then unsatisfiable for any c).
+  bool feasible = true;
+};
+
+RecursiveDiversityReport MeasureRecursiveDiversity(
+    const anonymize::BucketizedTable& table, size_t ell);
+
+bool SatisfiesRecursiveDiversity(const anonymize::BucketizedTable& table,
+                                 double c, size_t ell);
+
+/// The global SA distribution of the table (by instance id).
+std::vector<double> GlobalSaDistribution(
+    const anonymize::BucketizedTable& table);
+
+}  // namespace pme::core
+
+#endif  // PME_CORE_CRITERIA_H_

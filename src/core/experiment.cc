@@ -1,0 +1,62 @@
+#include "core/experiment.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace pme::core {
+
+Result<ExperimentPipeline> BuildPipeline(const PipelineOptions& options) {
+  PME_ASSIGN_OR_RETURN(data::Dataset dataset,
+                       data::GenerateAdultLike(options.data));
+  PME_ASSIGN_OR_RETURN(auto partition,
+                       anonymize::AnatomyPartition(dataset, options.anatomy));
+  PME_ASSIGN_OR_RETURN(auto bucketization,
+                       anonymize::BucketizeDataset(dataset, partition));
+  std::vector<knowledge::AssociationRule> rules;
+  if (options.mine_rules) {
+    PME_ASSIGN_OR_RETURN(
+        rules, knowledge::MineAssociationRules(dataset, options.miner));
+  }
+  return ExperimentPipeline{std::move(dataset), std::move(bucketization),
+                            std::move(rules)};
+}
+
+Result<Analysis> AnalyzeWithRules(
+    const ExperimentPipeline& pipeline,
+    const std::vector<knowledge::AssociationRule>& rules,
+    const AnalysisOptions& options) {
+  knowledge::KnowledgeBase kb;
+  kb.AddRules(rules);
+  return Analyze(pipeline.bucketization.table, kb, options,
+                 &pipeline.bucketization.qi_encoder);
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : impl_(new Impl) {
+  if (path.empty()) return;
+  impl_->out.open(path);
+  if (!impl_->out) {
+    ok_ = false;
+    return;
+  }
+  impl_->out << Join(header, ",") << "\n";
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::Row(const std::vector<double>& values) {
+  if (!impl_->out.is_open()) return;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) impl_->out << ",";
+    impl_->out << FormatDouble(values[i]);
+  }
+  impl_->out << "\n";
+}
+
+}  // namespace pme::core

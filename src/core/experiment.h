@@ -1,0 +1,71 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_CORE_EXPERIMENT_H_
+#define PME_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "anonymize/anatomy.h"
+#include "anonymize/bucketized_table.h"
+#include "common/status.h"
+#include "core/privacy_maxent.h"
+#include "data/adult_synth.h"
+#include "knowledge/miner.h"
+
+namespace pme::core {
+
+/// End-to-end experiment pipeline shared by the figure benches: synthetic
+/// Adult-like data → Anatomy ℓ-diversity bucketization → association-rule
+/// mining. Each bench then sweeps its own parameter (K, T, #constraints,
+/// #buckets) over this state.
+struct ExperimentPipeline {
+  data::Dataset dataset;
+  anonymize::DatasetBucketization bucketization;
+  std::vector<knowledge::AssociationRule> rules;
+};
+
+struct PipelineOptions {
+  data::AdultSynthOptions data;
+  anonymize::AnatomyOptions anatomy;
+  knowledge::MinerOptions miner;
+  /// Mine rules at all (true) or skip mining (false, e.g. Figure 7 runs
+  /// that synthesize knowledge directly).
+  bool mine_rules = true;
+};
+
+/// Builds the pipeline; every stage is deterministic given the seeds in
+/// the options.
+Result<ExperimentPipeline> BuildPipeline(const PipelineOptions& options);
+
+/// Runs a Privacy-MaxEnt analysis with the given rule subset as the
+/// adversary's knowledge.
+Result<Analysis> AnalyzeWithRules(
+    const ExperimentPipeline& pipeline,
+    const std::vector<knowledge::AssociationRule>& rules,
+    const AnalysisOptions& options = {});
+
+/// Minimal CSV emitter for bench series (one header + rows of doubles).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. An empty path
+  /// disables output (all writes become no-ops).
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  /// Appends one row.
+  void Row(const std::vector<double>& values);
+
+  /// True when the file opened successfully (or output is disabled).
+  bool ok() const { return ok_; }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  bool ok_ = true;
+};
+
+}  // namespace pme::core
+
+#endif  // PME_CORE_EXPERIMENT_H_

@@ -1,0 +1,90 @@
+#include "core/posterior.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace pme::core {
+
+PosteriorTable PosteriorTable::FromSolution(
+    const anonymize::BucketizedTable& table,
+    const constraints::TermIndex& index, const std::vector<double>& p) {
+  PosteriorTable t;
+  t.num_qi_ = table.num_qi_values();
+  t.num_sa_ = table.num_sa_values();
+  t.rows_.assign(static_cast<size_t>(t.num_qi_) * t.num_sa_, 0.0);
+  t.prob_q_.resize(t.num_qi_);
+  for (uint32_t q = 0; q < t.num_qi_; ++q) t.prob_q_[q] = table.ProbQ(q);
+
+  // P*(q, s) = Σ_b p(q, s, b); normalize by P(q).
+  for (uint32_t var = 0; var < index.num_variables(); ++var) {
+    const auto& term = index.TermOf(var);
+    t.rows_[term.qi * t.num_sa_ + term.sa] += p[var];
+  }
+  for (uint32_t q = 0; q < t.num_qi_; ++q) {
+    const double pq = t.prob_q_[q];
+    if (pq <= 0.0) continue;
+    for (uint32_t s = 0; s < t.num_sa_; ++s) {
+      t.rows_[q * t.num_sa_ + s] /= pq;
+    }
+  }
+  return t;
+}
+
+PosteriorTable PosteriorTable::GroundTruth(
+    const anonymize::BucketizedTable& table) {
+  PosteriorTable t;
+  t.num_qi_ = table.num_qi_values();
+  t.num_sa_ = table.num_sa_values();
+  t.rows_.assign(static_cast<size_t>(t.num_qi_) * t.num_sa_, 0.0);
+  t.prob_q_.assign(t.num_qi_, 0.0);
+
+  std::vector<double> q_counts(t.num_qi_, 0.0);
+  for (const auto& r : table.records()) {
+    t.rows_[r.qi * t.num_sa_ + r.sa] += 1.0;
+    q_counts[r.qi] += 1.0;
+  }
+  const double n = static_cast<double>(table.num_records());
+  for (uint32_t q = 0; q < t.num_qi_; ++q) {
+    t.prob_q_[q] = q_counts[q] / n;
+    if (q_counts[q] <= 0.0) continue;
+    for (uint32_t s = 0; s < t.num_sa_; ++s) {
+      t.rows_[q * t.num_sa_ + s] /= q_counts[q];
+    }
+  }
+  return t;
+}
+
+std::vector<double> PosteriorTable::Row(uint32_t q) const {
+  return std::vector<double>(rows_.begin() + q * num_sa_,
+                             rows_.begin() + (q + 1) * num_sa_);
+}
+
+double EstimationAccuracy(const PosteriorTable& truth,
+                          const PosteriorTable& estimate) {
+  double accuracy = 0.0;
+  for (uint32_t q = 0; q < truth.num_qi(); ++q) {
+    const double pq = truth.ProbQ(q);
+    if (pq <= 0.0) continue;
+    accuracy += pq * KlDivergence(truth.Row(q), estimate.Row(q));
+  }
+  return accuracy;
+}
+
+PrivacyMetrics ComputePrivacyMetrics(const PosteriorTable& posterior) {
+  PrivacyMetrics metrics;
+  metrics.min_effective_candidates = std::numeric_limits<double>::max();
+  for (uint32_t q = 0; q < posterior.num_qi(); ++q) {
+    const std::vector<double> row = posterior.Row(q);
+    const double best = *std::max_element(row.begin(), row.end());
+    metrics.max_disclosure = std::max(metrics.max_disclosure, best);
+    metrics.expected_best_guess += posterior.ProbQ(q) * best;
+    metrics.min_effective_candidates =
+        std::min(metrics.min_effective_candidates, std::exp(Entropy(row)));
+  }
+  return metrics;
+}
+
+}  // namespace pme::core

@@ -1,0 +1,80 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_CORE_POSTERIOR_H_
+#define PME_CORE_POSTERIOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "anonymize/bucketized_table.h"
+#include "constraints/term_index.h"
+
+namespace pme::core {
+
+/// The adversary's posterior P*(SA | QI): the end product of
+/// Privacy-MaxEnt and the input to every privacy metric (Section 3.1:
+/// P(S|Q) = Σ_B P(Q,S,B) / P(Q)).
+class PosteriorTable {
+ public:
+  /// Derives P*(s | q) from a MaxEnt joint solution `p` over `index`.
+  static PosteriorTable FromSolution(const anonymize::BucketizedTable& table,
+                                     const constraints::TermIndex& index,
+                                     const std::vector<double>& p);
+
+  /// The ground-truth conditional P(s | q) of the original data
+  /// (evaluation only — an adversary cannot compute this).
+  static PosteriorTable GroundTruth(const anonymize::BucketizedTable& table);
+
+  uint32_t num_qi() const { return num_qi_; }
+  uint32_t num_sa() const { return num_sa_; }
+
+  /// P*(s | q).
+  double Conditional(uint32_t q, uint32_t s) const {
+    return rows_[q * num_sa_ + s];
+  }
+
+  /// The conditional distribution over all SA instances for one q.
+  std::vector<double> Row(uint32_t q) const;
+
+  /// The q-marginal P(q) used for weighting.
+  double ProbQ(uint32_t q) const { return prob_q_[q]; }
+
+ private:
+  uint32_t num_qi_ = 0;
+  uint32_t num_sa_ = 0;
+  std::vector<double> rows_;    // row-major num_qi x num_sa
+  std::vector<double> prob_q_;  // P(q)
+};
+
+/// The paper's evaluation measure (Section 7.1): the weighted
+/// Kullback–Leibler distance
+///
+///   EA = Σ_q P(q) Σ_s P(s|q) · ln( P(s|q) / P*(s|q) ),
+///
+/// between the ground-truth conditionals and the MaxEnt estimate. Smaller
+/// means the adversary's estimate is closer to the truth — *less* privacy.
+/// Natural log (nats); the paper's plots use an unspecified base, which
+/// only scales the axis.
+double EstimationAccuracy(const PosteriorTable& truth,
+                          const PosteriorTable& estimate);
+
+/// Classical posterior-based privacy metrics computed from P*(SA | QI).
+struct PrivacyMetrics {
+  /// max_{q,s} P*(s | q): the worst-case disclosure risk (the quantity
+  /// bounded by L-diversity-style metrics).
+  double max_disclosure = 0.0;
+  /// Σ_q P(q) max_s P*(s | q): expected confidence of the adversary's
+  /// best guess.
+  double expected_best_guess = 0.0;
+  /// min_q exp(H(P*(· | q))): the smallest effective number of SA
+  /// candidates any individual retains (entropy ℓ-diversity of the
+  /// posterior).
+  double min_effective_candidates = 0.0;
+};
+
+PrivacyMetrics ComputePrivacyMetrics(const PosteriorTable& posterior);
+
+}  // namespace pme::core
+
+#endif  // PME_CORE_POSTERIOR_H_

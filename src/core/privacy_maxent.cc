@@ -1,0 +1,59 @@
+#include "core/privacy_maxent.h"
+
+#include "constraints/bk_compiler.h"
+#include "constraints/system.h"
+#include "constraints/term_index.h"
+#include "maxent/problem.h"
+
+namespace pme::core {
+
+Result<Analysis> Analyze(const anonymize::BucketizedTable& table,
+                         const knowledge::KnowledgeBase& kb,
+                         const AnalysisOptions& options,
+                         const data::TupleEncoder* qi_encoder) {
+  if (!kb.individuals().empty()) {
+    return Status::InvalidArgument(
+        "knowledge about individuals requires the pseudonym-expanded "
+        "IndividualModel (core/individual_model.h)");
+  }
+
+  const constraints::TermIndex index = constraints::TermIndex::Build(table);
+  constraints::ConstraintSystem system(index.num_variables());
+  system.AddAll(constraints::GenerateInvariants(table, index,
+                                                options.invariant_options));
+  const size_t num_invariants = system.size();
+
+  PME_ASSIGN_OR_RETURN(
+      auto compiled,
+      constraints::CompileKnowledge(kb, table, index, qi_encoder));
+  const size_t num_bk = compiled.constraints.size();
+  system.AddAll(std::move(compiled.constraints));
+
+  Analysis analysis;
+  analysis.num_invariant_constraints = num_invariants;
+  analysis.num_background_constraints = num_bk;
+  analysis.num_vacuous_statements = compiled.num_vacuous;
+  analysis.decomposition = maxent::AnalyzeDecomposition(index, system);
+
+  if (options.use_decomposition) {
+    PME_ASSIGN_OR_RETURN(
+        analysis.solver,
+        maxent::SolveDecomposed(table, index, system, options.solver,
+                                options.solver_options));
+  } else {
+    PME_ASSIGN_OR_RETURN(auto problem, maxent::BuildProblem(system));
+    PME_ASSIGN_OR_RETURN(
+        analysis.solver,
+        maxent::Solve(problem, options.solver, options.solver_options));
+  }
+
+  analysis.posterior =
+      PosteriorTable::FromSolution(table, index, analysis.solver.p);
+  analysis.estimation_accuracy =
+      EstimationAccuracy(PosteriorTable::GroundTruth(table),
+                         analysis.posterior);
+  analysis.metrics = ComputePrivacyMetrics(analysis.posterior);
+  return analysis;
+}
+
+}  // namespace pme::core

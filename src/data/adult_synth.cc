@@ -1,0 +1,139 @@
+#include "data/adult_synth.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace pme::data {
+namespace {
+
+struct AttrSpec {
+  const char* name;
+  AttributeRole role;
+  std::vector<std::string> values;
+};
+
+std::vector<AttrSpec> AdultAttributes() {
+  return {
+      {"age",
+       AttributeRole::kQuasiIdentifier,
+       {"17-21", "22-25", "26-30", "31-35", "36-40", "41-45", "46-50",
+        "51-60", "61-90"}},
+      {"workclass",
+       AttributeRole::kQuasiIdentifier,
+       {"private", "self-emp", "self-emp-inc", "federal-gov", "local-gov",
+        "state-gov", "without-pay", "never-worked"}},
+      {"marital_status",
+       AttributeRole::kQuasiIdentifier,
+       {"married", "divorced", "never-married", "separated", "widowed",
+        "spouse-absent", "af-spouse"}},
+      {"occupation",
+       AttributeRole::kQuasiIdentifier,
+       {"tech-support", "craft-repair", "other-service", "sales",
+        "exec-managerial", "prof-specialty", "handlers-cleaners",
+        "machine-op", "adm-clerical", "farming-fishing", "transport",
+        "priv-house-serv", "protective-serv", "armed-forces"}},
+      {"race",
+       AttributeRole::kQuasiIdentifier,
+       {"white", "black", "asian-pac", "amer-indian", "other"}},
+      {"sex", AttributeRole::kQuasiIdentifier, {"male", "female"}},
+      {"hours",
+       AttributeRole::kQuasiIdentifier,
+       {"0-20", "21-35", "36-40", "41-50", "51-99"}},
+      {"native_region",
+       AttributeRole::kQuasiIdentifier,
+       {"north-america", "south-america", "europe", "asia", "africa",
+        "oceania"}},
+      {"education",
+       AttributeRole::kSensitive,
+       {"preschool", "1st-4th", "5th-6th", "7th-8th", "9th", "10th", "11th",
+        "12th", "hs-grad", "some-college", "assoc-voc", "assoc-acdm",
+        "bachelors", "masters", "prof-school", "doctorate"}},
+  };
+}
+
+/// Class-conditional weight of value v (of `card` values) for attribute a
+/// under latent class c: a wrapped Gaussian bump centred at a class- and
+/// attribute-dependent position, plus a floor so all values have support.
+double ClassWeight(int c, int num_classes, size_t attr, uint32_t v,
+                   uint32_t card, double concentration) {
+  // Spread class centres across the value range; shift by attribute index
+  // so no two attributes are perfectly collinear given the class.
+  const double centre =
+      std::fmod((static_cast<double>(c) + 0.5) / num_classes +
+                    0.17 * static_cast<double>(attr + 1),
+                1.0) *
+      card;
+  const double sigma = std::max(1.0, card / 4.0);
+  // Wrapped distance on the value circle keeps tails symmetric.
+  double d = std::fabs(static_cast<double>(v) + 0.5 - centre);
+  d = std::min(d, card - d);
+  return std::exp(-concentration * d * d / (2.0 * sigma * sigma)) + 0.05;
+}
+
+}  // namespace
+
+Result<Dataset> GenerateAdultLike(const AdultSynthOptions& options) {
+  if (options.num_records == 0) {
+    return Status::InvalidArgument("num_records must be positive");
+  }
+  if (options.num_classes <= 0) {
+    return Status::InvalidArgument("num_classes must be positive");
+  }
+  if (options.noise < 0.0 || options.noise > 1.0) {
+    return Status::InvalidArgument("noise must lie in [0, 1]");
+  }
+
+  const auto specs = AdultAttributes();
+  Schema schema;
+  for (const auto& spec : specs) {
+    const size_t idx = schema.AddAttribute(spec.name, spec.role);
+    for (const auto& value : spec.values) {
+      schema.attribute(idx).dictionary.Intern(value);
+    }
+  }
+  Dataset dataset(std::move(schema));
+
+  Prng prng(options.seed);
+
+  // Uneven class prior: classes are geometric-ish in size, like real
+  // socio-economic strata.
+  std::vector<double> prior(options.num_classes);
+  for (int c = 0; c < options.num_classes; ++c) {
+    prior[c] = std::pow(0.8, c) + 0.05;
+  }
+
+  // Precompute class-conditional weights per attribute.
+  // weights[c][a] is the weight vector over attribute a's values.
+  std::vector<std::vector<std::vector<double>>> weights(options.num_classes);
+  for (int c = 0; c < options.num_classes; ++c) {
+    weights[c].resize(specs.size());
+    for (size_t a = 0; a < specs.size(); ++a) {
+      const uint32_t card = static_cast<uint32_t>(specs[a].values.size());
+      weights[c][a].resize(card);
+      for (uint32_t v = 0; v < card; ++v) {
+        weights[c][a][v] = ClassWeight(c, options.num_classes, a, v, card,
+                                       options.concentration);
+      }
+    }
+  }
+
+  std::vector<uint32_t> codes(specs.size());
+  for (size_t r = 0; r < options.num_records; ++r) {
+    const int c = static_cast<int>(prng.NextCategorical(prior));
+    for (size_t a = 0; a < specs.size(); ++a) {
+      const uint32_t card = static_cast<uint32_t>(specs[a].values.size());
+      if (prng.NextDouble() < options.noise) {
+        codes[a] = static_cast<uint32_t>(prng.NextBounded(card));
+      } else {
+        codes[a] = static_cast<uint32_t>(prng.NextCategorical(weights[c][a]));
+      }
+    }
+    PME_RETURN_IF_ERROR(dataset.AppendRecord(codes));
+  }
+  return dataset;
+}
+
+}  // namespace pme::data

@@ -1,0 +1,41 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_DATA_CSV_H_
+#define PME_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace pme::data {
+
+/// Options controlling CSV ingestion.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// When true the first line provides attribute names; otherwise
+  /// attributes are named col0, col1, ...
+  bool has_header = true;
+  /// Names of sensitive attributes; all others become quasi-identifiers.
+  std::vector<std::string> sensitive_attributes;
+  /// Names of identifier attributes to drop on load.
+  std::vector<std::string> identifier_attributes;
+};
+
+/// Loads a categorical CSV file into a Dataset. Every column is treated as
+/// categorical (values interned verbatim after trimming).
+Result<Dataset> ReadCsv(const std::string& path,
+                        const CsvReadOptions& options = {});
+
+/// Parses CSV content from a string (testing convenience).
+Result<Dataset> ReadCsvString(const std::string& content,
+                              const CsvReadOptions& options = {});
+
+/// Writes a Dataset back to CSV with a header row.
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                char delimiter = ',');
+
+}  // namespace pme::data
+
+#endif  // PME_DATA_CSV_H_

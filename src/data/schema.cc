@@ -1,0 +1,69 @@
+#include "data/schema.h"
+
+namespace pme::data {
+
+uint32_t AttributeDictionary::Intern(const std::string& value) {
+  auto it = codes_.find(value);
+  if (it != codes_.end()) return it->second;
+  const uint32_t code = static_cast<uint32_t>(values_.size());
+  values_.push_back(value);
+  codes_.emplace(value, code);
+  return code;
+}
+
+Result<uint32_t> AttributeDictionary::Lookup(const std::string& value) const {
+  auto it = codes_.find(value);
+  if (it == codes_.end()) {
+    return Status::NotFound("value not in dictionary: " + value);
+  }
+  return it->second;
+}
+
+const std::string& AttributeDictionary::ValueOf(uint32_t code) const {
+  return values_.at(code);
+}
+
+size_t Schema::AddAttribute(std::string name, AttributeRole role) {
+  const size_t idx = attributes_.size();
+  index_.emplace(name, idx);
+  attributes_.push_back(Attribute{std::move(name), role, {}});
+  return idx;
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute named " + name);
+  }
+  return it->second;
+}
+
+std::vector<size_t> Schema::QiIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].role == AttributeRole::kQuasiIdentifier) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> Schema::SensitiveIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].role == AttributeRole::kSensitive) out.push_back(i);
+  }
+  return out;
+}
+
+Result<size_t> Schema::SoleSensitiveIndex() const {
+  auto sens = SensitiveIndices();
+  if (sens.size() != 1) {
+    return Status::FailedPrecondition(
+        "expected exactly one sensitive attribute, found " +
+        std::to_string(sens.size()));
+  }
+  return sens[0];
+}
+
+}  // namespace pme::data

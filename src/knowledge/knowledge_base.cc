@@ -1,0 +1,47 @@
+#include "knowledge/knowledge_base.h"
+
+#include <sstream>
+
+namespace pme::knowledge {
+
+void KnowledgeBase::AddRules(const std::vector<AssociationRule>& rules) {
+  for (const auto& rule : rules) {
+    ConditionalStatement stmt;
+    stmt.attrs = rule.attrs;
+    stmt.values = rule.values;
+    stmt.sa_codes = {rule.sa_code};
+    stmt.rel = Relation::kEq;
+    stmt.probability = rule.conditional;
+    std::ostringstream label;
+    label << (rule.positive ? "pos-rule" : "neg-rule") << " sa#" << rule.sa_code
+          << " conf " << rule.confidence;
+    stmt.label = label.str();
+    conditionals_.push_back(std::move(stmt));
+  }
+}
+
+ConditionalStatement MakeConditional(std::vector<size_t> attrs,
+                                     std::vector<uint32_t> values,
+                                     uint32_t sa_code, double probability,
+                                     Relation rel) {
+  ConditionalStatement stmt;
+  stmt.attrs = std::move(attrs);
+  stmt.values = std::move(values);
+  stmt.sa_codes = {sa_code};
+  stmt.rel = rel;
+  stmt.probability = probability;
+  return stmt;
+}
+
+ConditionalStatement AbstractConditional(uint32_t qi,
+                                         std::vector<uint32_t> sa_codes,
+                                         double probability, Relation rel) {
+  ConditionalStatement stmt;
+  stmt.abstract_qi = qi;
+  stmt.sa_codes = std::move(sa_codes);
+  stmt.rel = rel;
+  stmt.probability = probability;
+  return stmt;
+}
+
+}  // namespace pme::knowledge

@@ -1,0 +1,125 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_KNOWLEDGE_KNOWLEDGE_BASE_H_
+#define PME_KNOWLEDGE_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "knowledge/rule.h"
+
+namespace pme::knowledge {
+
+/// Relation of a knowledge statement to its right-hand side.
+enum class Relation : int {
+  kEq = 0,  ///< exact probabilistic knowledge, P(...) = rhs
+  kLe = 1,  ///< vague knowledge upper bound, P(...) <= rhs (Section 4.5)
+  kGe = 2,  ///< vague knowledge lower bound, P(...) >= rhs
+};
+
+/// Knowledge about the data distribution (Section 4.1): a statement about
+/// `P(S-set | Qv)` where Qv is either a raw attribute/value combination of
+/// the original dataset or directly an abstract QI instance id of a
+/// bucketized table (used in worked examples like Figure 1(c)).
+///
+/// The S-set generalizes single values: "P(s1 or s2 | q3) = 0" from
+/// Section 3.1 is expressed with sa_codes = {s1, s2}.
+struct ConditionalStatement {
+  /// Abstract mode: the QI instance id in the bucketized table. When set,
+  /// `attrs`/`values` are ignored.
+  std::optional<uint32_t> abstract_qi;
+  /// Dataset mode: Qv as attribute indices + value codes.
+  std::vector<size_t> attrs;
+  std::vector<uint32_t> values;
+  /// The sensitive instance ids (dataset mode: SA dictionary codes).
+  std::vector<uint32_t> sa_codes;
+  Relation rel = Relation::kEq;
+  /// The asserted conditional probability P(S-set | Qv).
+  double probability = 0.0;
+  /// Optional display label for diagnostics.
+  std::string label;
+};
+
+/// Kinds of knowledge about individuals (Section 6).
+enum class IndividualKind : int {
+  /// Type 1/2: probabilistic knowledge tying one person to one or more SA
+  /// values, e.g. "P(Breast Cancer | Alice) = 0.2",
+  /// "Alice has either s1 or s4" (probability 1 over the set).
+  kPersonSaSet = 0,
+  /// Type 3: a count over several (person, SA) pairs, e.g. "two people
+  /// among {Alice⇒HIV, Bob⇒HIV, Charlie⇒HIV}".
+  kGroupCount = 1,
+};
+
+/// Knowledge about individuals, phrased over pseudonyms (Figure 4): the
+/// statement Σ P(i_k, q_{i_k}, s_k, ·) REL rhs_probability, where the sum
+/// ranges over the listed (pseudonym, sa) pairs and all candidate buckets.
+struct IndividualStatement {
+  IndividualKind kind = IndividualKind::kPersonSaSet;
+  /// (pseudonym id, sensitive instance id) pairs the statement covers.
+  std::vector<std::pair<uint32_t, uint32_t>> terms;
+  Relation rel = Relation::kEq;
+  /// Right-hand side in probability units. For kPersonSaSet this is
+  /// P(S-set | person) / N-normalized internally by the model; for
+  /// kGroupCount it is (#people asserted) / N.
+  double probability = 0.0;
+  std::string label;
+};
+
+/// The adversary's assumed background knowledge: a bag of statements about
+/// the data distribution plus (optionally) statements about individuals.
+/// This is the object whose *size* the Top-(K+, K−) bound controls.
+class KnowledgeBase {
+ public:
+  /// Adds one distribution statement.
+  void Add(ConditionalStatement statement) {
+    conditionals_.push_back(std::move(statement));
+  }
+  /// Adds one individual statement.
+  void Add(IndividualStatement statement) {
+    individuals_.push_back(std::move(statement));
+  }
+
+  /// Converts mined association rules into conditional statements
+  /// (each rule asserts P(S | Qv) = data-derived conditional; Section 4.2).
+  void AddRules(const std::vector<AssociationRule>& rules);
+
+  const std::vector<ConditionalStatement>& conditionals() const {
+    return conditionals_;
+  }
+  const std::vector<IndividualStatement>& individuals() const {
+    return individuals_;
+  }
+
+  /// Total number of statements (the "amount of background knowledge" axis
+  /// of Figures 5–7).
+  size_t size() const { return conditionals_.size() + individuals_.size(); }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<ConditionalStatement> conditionals_;
+  std::vector<IndividualStatement> individuals_;
+};
+
+/// Builders for the statement grammar, mirroring the paper's examples.
+/// All return dataset-mode statements; abstract-mode ones are built with
+/// `AbstractConditional`.
+ConditionalStatement MakeConditional(std::vector<size_t> attrs,
+                                     std::vector<uint32_t> values,
+                                     uint32_t sa_code, double probability,
+                                     Relation rel = Relation::kEq);
+
+/// "P(s-set | q) = prob" directly over abstract instance ids.
+ConditionalStatement AbstractConditional(uint32_t qi,
+                                         std::vector<uint32_t> sa_codes,
+                                         double probability,
+                                         Relation rel = Relation::kEq);
+
+}  // namespace pme::knowledge
+
+#endif  // PME_KNOWLEDGE_KNOWLEDGE_BASE_H_

@@ -1,0 +1,153 @@
+#include "knowledge/miner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pme::knowledge {
+namespace {
+
+/// Enumerates all size-k subsets of `items` in lexicographic order,
+/// invoking `fn` with each subset.
+template <typename Fn>
+void ForEachSubset(const std::vector<size_t>& items, size_t k, Fn&& fn) {
+  if (k == 0 || k > items.size()) return;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  std::vector<size_t> subset(k);
+  for (;;) {
+    for (size_t i = 0; i < k; ++i) subset[i] = items[idx[i]];
+    fn(subset);
+    // Advance the combination.
+    size_t i = k;
+    while (i-- > 0) {
+      if (idx[i] != i + items.size() - k) {
+        ++idx[i];
+        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+  }
+}
+
+struct TupleHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<std::vector<AssociationRule>> MineAssociationRules(
+    const data::Dataset& dataset, const MinerOptions& options) {
+  if (options.min_attrs == 0) {
+    return Status::InvalidArgument("min_attrs must be >= 1");
+  }
+  if (options.min_attrs > options.max_attrs) {
+    return Status::InvalidArgument("min_attrs must be <= max_attrs");
+  }
+  PME_ASSIGN_OR_RETURN(const size_t sa_attr,
+                       dataset.schema().SoleSensitiveIndex());
+  const std::vector<size_t> qi = dataset.schema().QiIndices();
+  const uint32_t num_sa = dataset.schema().attribute(sa_attr).dictionary.size();
+  const double n = static_cast<double>(dataset.num_records());
+  if (dataset.num_records() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+
+  std::vector<AssociationRule> positive, negative;
+
+  // Per (tuple) aggregation: total count + per-SA counts packed into one
+  // flat array of size num_sa (index 0 reserved for the total).
+  struct Group {
+    size_t total = 0;
+    std::vector<uint32_t> sa_counts;
+  };
+
+  const size_t max_t = std::min(options.max_attrs, qi.size());
+  for (size_t t = options.min_attrs; t <= max_t; ++t) {
+    ForEachSubset(qi, t, [&](const std::vector<size_t>& attrs) {
+      std::unordered_map<std::vector<uint32_t>, Group, TupleHash> groups;
+      std::vector<uint32_t> key(t);
+      for (size_t r = 0; r < dataset.num_records(); ++r) {
+        for (size_t i = 0; i < t; ++i) key[i] = dataset.At(r, attrs[i]);
+        Group& g = groups[key];
+        if (g.sa_counts.empty()) g.sa_counts.assign(num_sa, 0);
+        ++g.total;
+        ++g.sa_counts[dataset.At(r, sa_attr)];
+      }
+      for (const auto& [tuple, group] : groups) {
+        const double p_qv = static_cast<double>(group.total) / n;
+        for (uint32_t s = 0; s < num_sa; ++s) {
+          const size_t with_s = group.sa_counts[s];
+          const size_t without_s = group.total - with_s;
+          const double conditional =
+              static_cast<double>(with_s) / static_cast<double>(group.total);
+          if (options.mine_positive && with_s >= options.min_support_records &&
+              conditional >= options.min_confidence) {
+            AssociationRule rule;
+            rule.attrs = attrs;
+            rule.values = tuple;
+            rule.sa_code = s;
+            rule.positive = true;
+            rule.support = static_cast<double>(with_s) / n;
+            rule.confidence = conditional;
+            rule.conditional = conditional;
+            positive.push_back(std::move(rule));
+          }
+          if (options.mine_negative &&
+              without_s >= options.min_support_records) {
+            AssociationRule rule;
+            rule.attrs = attrs;
+            rule.values = tuple;
+            rule.sa_code = s;
+            rule.positive = false;
+            rule.support = static_cast<double>(without_s) / n;
+            rule.confidence = 1.0 - conditional;
+            rule.conditional = conditional;
+            negative.push_back(std::move(rule));
+          }
+        }
+        (void)p_qv;
+      }
+    });
+  }
+
+  std::sort(positive.begin(), positive.end(), RuleRankBefore);
+  std::sort(negative.begin(), negative.end(), RuleRankBefore);
+  std::vector<AssociationRule> all = std::move(positive);
+  all.insert(all.end(), std::make_move_iterator(negative.begin()),
+             std::make_move_iterator(negative.end()));
+  return all;
+}
+
+std::vector<AssociationRule> TopK(std::vector<AssociationRule> rules,
+                                  size_t k_positive, size_t k_negative) {
+  std::vector<AssociationRule> positive, negative;
+  for (auto& r : rules) {
+    (r.positive ? positive : negative).push_back(std::move(r));
+  }
+  std::sort(positive.begin(), positive.end(), RuleRankBefore);
+  std::sort(negative.begin(), negative.end(), RuleRankBefore);
+  if (positive.size() > k_positive) positive.resize(k_positive);
+  if (negative.size() > k_negative) negative.resize(k_negative);
+  positive.insert(positive.end(), std::make_move_iterator(negative.begin()),
+                  std::make_move_iterator(negative.end()));
+  return positive;
+}
+
+std::vector<AssociationRule> FilterByNumAttributes(
+    const std::vector<AssociationRule>& rules, size_t t) {
+  std::vector<AssociationRule> out;
+  for (const auto& r : rules) {
+    if (r.NumQiAttributes() == t) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace pme::knowledge

@@ -1,0 +1,63 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_KNOWLEDGE_MINER_H_
+#define PME_KNOWLEDGE_MINER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "knowledge/rule.h"
+
+namespace pme::knowledge {
+
+/// Options for the association-rule miner.
+struct MinerOptions {
+  /// Minimum support: an association rule must be backed by at least this
+  /// many records (paper: 3, i.e. min support 3/14210).
+  size_t min_support_records = 3;
+  /// Smallest and largest number of QI attributes (the paper's T) allowed
+  /// in Qv. [1, 8] mines every non-empty subset.
+  size_t min_attrs = 1;
+  size_t max_attrs = 8;
+  /// When true, mine positive rules Qv ⇒ S.
+  bool mine_positive = true;
+  /// When true, mine negative rules Qv ⇒ ¬S.
+  bool mine_negative = true;
+  /// Positive rules with confidence below this are dropped early (they
+  /// would never be "strongest associations"); 0 keeps everything.
+  double min_confidence = 0.0;
+};
+
+/// Mines all positive and negative association rules between QI-attribute
+/// value combinations and the sensitive attribute (Section 4.4).
+///
+/// For every QI-attribute subset of allowed size, records are grouped by
+/// their value tuple; each (tuple, sensitive value) pair yields a positive
+/// candidate (support = #records with Qv and S) and a negative candidate
+/// (support = #records with Qv but not S). Candidates below min support
+/// are discarded. Negative rules include sensitive values that never
+/// co-occur with the tuple (confidence 1 for ¬S — the strongest kind, e.g.
+/// "male ⇒ ¬breast-cancer").
+///
+/// Returned rules are sorted by `RuleRankBefore` (confidence-descending)
+/// within each polarity: all positive rules first, then all negative ones.
+/// Use `TopK` to apply the Top-(K+, K−) bound.
+Result<std::vector<AssociationRule>> MineAssociationRules(
+    const data::Dataset& dataset, const MinerOptions& options = {});
+
+/// Splits `rules` by polarity and keeps the `k_positive` strongest positive
+/// and `k_negative` strongest negative rules (the paper's Top-(K+, K−)
+/// bound of background knowledge). Input need not be sorted.
+std::vector<AssociationRule> TopK(std::vector<AssociationRule> rules,
+                                  size_t k_positive, size_t k_negative);
+
+/// Convenience filter: keeps only rules with exactly `t` QI attributes
+/// (for the Figure 6 sweep).
+std::vector<AssociationRule> FilterByNumAttributes(
+    const std::vector<AssociationRule>& rules, size_t t);
+
+}  // namespace pme::knowledge
+
+#endif  // PME_KNOWLEDGE_MINER_H_

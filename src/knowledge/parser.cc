@@ -1,0 +1,314 @@
+#include "knowledge/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace pme::knowledge {
+namespace {
+
+/// Cursor over a statement with single-token lookahead. Tokens are:
+/// punctuation ( ) | , = : <= >=, the keywords "or"/"person"/"count",
+/// and free-form words (attribute names, values, numbers). Words may
+/// contain letters, digits, '-', '_', '.', '+' (covers "breast-cancer",
+/// "22-25", "0.3", "1e-3").
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  /// Peeks the next token without consuming; empty at end.
+  std::string_view Peek() {
+    if (!have_token_) {
+      token_ = Scan();
+      have_token_ = true;
+    }
+    return token_;
+  }
+
+  std::string_view Next() {
+    std::string_view t = Peek();
+    have_token_ = false;
+    return t;
+  }
+
+  bool AtEnd() { return Peek().empty(); }
+
+  /// Consumes `expected` or fails.
+  Status Expect(std::string_view expected) {
+    std::string_view t = Next();
+    if (t != expected) {
+      return Status::InvalidArgument("expected '" + std::string(expected) +
+                                     "' but found '" + std::string(t) + "'");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '_' || c == '.' || c == '+';
+  }
+
+  std::string_view Scan() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return {};
+    const size_t start = pos_;
+    const char c = text_[pos_];
+    if (c == '<' || c == '>') {
+      pos_ += (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') ? 2 : 1;
+      return text_.substr(start, pos_ - start);
+    }
+    if (c == '(' || c == ')' || c == '|' || c == ',' || c == '=' ||
+        c == ':') {
+      ++pos_;
+      return text_.substr(start, 1);
+    }
+    while (pos_ < text_.size() && IsWordChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      ++pos_;  // unknown single character; surfaces as a bad token
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string_view token_;
+  bool have_token_ = false;
+};
+
+/// "q7" -> 6; "i12" -> 11. One-based in the language, zero-based in code.
+Result<uint32_t> ParseIndexedName(std::string_view token, char prefix) {
+  if (token.size() < 2 || token[0] != prefix) {
+    return Status::InvalidArgument("expected '" + std::string(1, prefix) +
+                                   "<index>' but found '" +
+                                   std::string(token) + "'");
+  }
+  long long index = 0;
+  if (!ParseInt(token.substr(1), &index) || index < 1) {
+    return Status::InvalidArgument("bad index in '" + std::string(token) +
+                                   "'");
+  }
+  return static_cast<uint32_t>(index - 1);
+}
+
+bool LooksLikeIndexedName(std::string_view token, char prefix) {
+  if (token.size() < 2 || token[0] != prefix) return false;
+  for (size_t i = 1; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) return false;
+  }
+  return true;
+}
+
+/// Resolves one SA term: "s3" (abstract) or a named value of the
+/// sensitive attribute.
+Result<uint32_t> ResolveSaTerm(std::string_view token,
+                               const ParserContext& context) {
+  if (LooksLikeIndexedName(token, 's')) {
+    return ParseIndexedName(token, 's');
+  }
+  if (context.dataset == nullptr) {
+    return Status::InvalidArgument(
+        "named sensitive value '" + std::string(token) +
+        "' needs a dataset context (or use abstract s<k> form)");
+  }
+  PME_ASSIGN_OR_RETURN(const size_t sa_attr,
+                       context.dataset->schema().SoleSensitiveIndex());
+  return context.dataset->schema()
+      .attribute(sa_attr)
+      .dictionary.Lookup(std::string(token));
+}
+
+Result<std::vector<uint32_t>> ParseSaSet(Lexer& lexer,
+                                         const ParserContext& context) {
+  std::vector<uint32_t> sa_codes;
+  for (;;) {
+    PME_ASSIGN_OR_RETURN(uint32_t code,
+                         ResolveSaTerm(lexer.Next(), context));
+    sa_codes.push_back(code);
+    if (lexer.Peek() == "or") {
+      lexer.Next();
+      continue;
+    }
+    return sa_codes;
+  }
+}
+
+Result<Relation> ParseRelation(Lexer& lexer) {
+  const std::string_view t = lexer.Next();
+  if (t == "=") return Relation::kEq;
+  if (t == "<=") return Relation::kLe;
+  if (t == ">=") return Relation::kGe;
+  return Status::InvalidArgument("expected '=', '<=' or '>=' but found '" +
+                                 std::string(t) + "'");
+}
+
+Result<double> ParseProbability(Lexer& lexer, bool allow_above_one) {
+  const std::string_view t = lexer.Next();
+  double value = 0.0;
+  if (!ParseDouble(t, &value)) {
+    return Status::InvalidArgument("expected a number but found '" +
+                                   std::string(t) + "'");
+  }
+  if (value < 0.0 || (!allow_above_one && value > 1.0)) {
+    return Status::InvalidArgument("probability out of range: " +
+                                   std::string(t));
+  }
+  return value;
+}
+
+/// conditional following "P(": sa-set "|" condition ")" rel number.
+Result<ParsedStatement> ParseConditionalTail(Lexer& lexer,
+                                             const ParserContext& context,
+                                             std::string label) {
+  PME_ASSIGN_OR_RETURN(auto sa_codes, ParseSaSet(lexer, context));
+  PME_RETURN_IF_ERROR(lexer.Expect("|"));
+
+  ParsedStatement out;
+  const std::string_view first = lexer.Peek();
+
+  if (first == "person") {
+    lexer.Next();
+    PME_ASSIGN_OR_RETURN(uint32_t pseudonym,
+                         ParseIndexedName(lexer.Next(), 'i'));
+    PME_RETURN_IF_ERROR(lexer.Expect(")"));
+    PME_ASSIGN_OR_RETURN(Relation rel, ParseRelation(lexer));
+    PME_ASSIGN_OR_RETURN(double prob, ParseProbability(lexer, false));
+    IndividualStatement stmt;
+    stmt.kind = IndividualKind::kPersonSaSet;
+    for (uint32_t s : sa_codes) stmt.terms.push_back({pseudonym, s});
+    stmt.rel = rel;
+    stmt.probability = prob;
+    stmt.label = std::move(label);
+    out.individual = std::move(stmt);
+    return out;
+  }
+
+  ConditionalStatement stmt;
+  stmt.sa_codes = std::move(sa_codes);
+
+  if (LooksLikeIndexedName(first, 'q')) {
+    PME_ASSIGN_OR_RETURN(uint32_t qi, ParseIndexedName(lexer.Next(), 'q'));
+    stmt.abstract_qi = qi;
+  } else {
+    if (context.dataset == nullptr) {
+      return Status::InvalidArgument(
+          "attribute conditions need a dataset context (or use abstract "
+          "q<k> form)");
+    }
+    for (;;) {
+      const std::string attr(lexer.Next());
+      PME_RETURN_IF_ERROR(lexer.Expect("="));
+      const std::string value(lexer.Next());
+      PME_ASSIGN_OR_RETURN(size_t attr_idx,
+                           context.dataset->schema().IndexOf(attr));
+      const auto& attribute = context.dataset->schema().attribute(attr_idx);
+      if (attribute.role != data::AttributeRole::kQuasiIdentifier) {
+        return Status::InvalidArgument("attribute '" + attr +
+                                       "' is not a quasi-identifier");
+      }
+      PME_ASSIGN_OR_RETURN(uint32_t code, attribute.dictionary.Lookup(value));
+      stmt.attrs.push_back(attr_idx);
+      stmt.values.push_back(code);
+      if (lexer.Peek() == ",") {
+        lexer.Next();
+        continue;
+      }
+      break;
+    }
+  }
+  PME_RETURN_IF_ERROR(lexer.Expect(")"));
+  PME_ASSIGN_OR_RETURN(stmt.rel, ParseRelation(lexer));
+  PME_ASSIGN_OR_RETURN(stmt.probability, ParseProbability(lexer, false));
+  stmt.label = std::move(label);
+  out.conditional = std::move(stmt);
+  return out;
+}
+
+/// group-count following "count(": pair { "," pair } ")" rel number.
+Result<ParsedStatement> ParseGroupCountTail(Lexer& lexer,
+                                            const ParserContext& context,
+                                            std::string label) {
+  IndividualStatement stmt;
+  stmt.kind = IndividualKind::kGroupCount;
+  for (;;) {
+    PME_ASSIGN_OR_RETURN(uint32_t pseudonym,
+                         ParseIndexedName(lexer.Next(), 'i'));
+    PME_RETURN_IF_ERROR(lexer.Expect(":"));
+    PME_ASSIGN_OR_RETURN(uint32_t sa, ResolveSaTerm(lexer.Next(), context));
+    stmt.terms.push_back({pseudonym, sa});
+    if (lexer.Peek() == ",") {
+      lexer.Next();
+      continue;
+    }
+    break;
+  }
+  PME_RETURN_IF_ERROR(lexer.Expect(")"));
+  PME_ASSIGN_OR_RETURN(stmt.rel, ParseRelation(lexer));
+  PME_ASSIGN_OR_RETURN(stmt.probability, ParseProbability(lexer, true));
+  if (stmt.probability > static_cast<double>(stmt.terms.size())) {
+    return Status::InvalidArgument(
+        "count exceeds the number of listed people");
+  }
+  stmt.label = std::move(label);
+  ParsedStatement out;
+  out.individual = std::move(stmt);
+  return out;
+}
+
+}  // namespace
+
+Result<ParsedStatement> ParseStatement(std::string_view line,
+                                       const ParserContext& context) {
+  std::string label(Trim(line));
+  Lexer lexer(line);
+  const std::string_view head = lexer.Next();
+  Result<ParsedStatement> result =
+      Status::InvalidArgument("statement must start with 'P(' or 'count('");
+  if (head == "P") {
+    PME_RETURN_IF_ERROR(lexer.Expect("("));
+    result = ParseConditionalTail(lexer, context, std::move(label));
+  } else if (head == "count") {
+    PME_RETURN_IF_ERROR(lexer.Expect("("));
+    result = ParseGroupCountTail(lexer, context, std::move(label));
+  }
+  if (!result.ok()) return result;
+  if (!lexer.AtEnd()) {
+    return Status::InvalidArgument("trailing input: '" +
+                                   std::string(lexer.Peek()) + "'");
+  }
+  return result;
+}
+
+Status ParseKnowledge(std::string_view text, const ParserContext& context,
+                      KnowledgeBase* kb) {
+  if (kb == nullptr) {
+    return Status::InvalidArgument("knowledge base must not be null");
+  }
+  size_t line_no = 0;
+  for (const auto& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw_line);
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    auto parsed = ParseStatement(line, context);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": " +
+          parsed.status().message());
+    }
+    if (parsed.value().conditional.has_value()) {
+      kb->Add(std::move(*parsed.value().conditional));
+    } else {
+      kb->Add(std::move(*parsed.value().individual));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace pme::knowledge

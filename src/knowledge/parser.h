@@ -1,0 +1,70 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_KNOWLEDGE_PARSER_H_
+#define PME_KNOWLEDGE_PARSER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "knowledge/knowledge_base.h"
+
+namespace pme::knowledge {
+
+/// A small text language for background-knowledge statements — the
+/// paper's pitch is that *any* knowledge expressible as linear
+/// (in)equalities over probabilities can be fed to the same algorithm;
+/// this parser is the corresponding front door.
+///
+/// Grammar (one statement per line; '#' starts a comment):
+///
+///   conditional   := "P(" sa-set "|" condition ")" rel number
+///   sa-set        := sa-term { "or" sa-term }
+///   sa-term       := VALUE            (a value of the sensitive attribute)
+///                  | "s" INDEX        (abstract instance, 1-based)
+///   condition     := assignment { "," assignment }   (dataset mode)
+///                  | "q" INDEX                        (abstract mode)
+///                  | "person" "i" INDEX               (individual mode)
+///   assignment    := ATTR "=" VALUE
+///   rel           := "=" | "<=" | ">="
+///
+///   group-count   := "count(" pair { "," pair } ")" rel number
+///   pair          := "i" INDEX ":" sa-term      (pseudonym carries value)
+///
+/// Examples, matching the paper's prose:
+///   P(breast-cancer | gender=male) = 0
+///   P(flu | gender=male) = 0.3
+///   P(s1 or s2 | q3) = 0
+///   P(s1 | q1) <= 0.35
+///   P(breast-cancer | person i1) = 0.2
+///   P(breast-cancer or hiv | person i1) = 1
+///   count(i1:hiv, i4:hiv, i9:hiv) = 2
+///
+/// Dataset-mode statements (attr=value) need a Dataset to resolve names
+/// and value codes; abstract/individual statements parse without one.
+struct ParserContext {
+  /// Required for dataset-mode statements and named SA values.
+  const data::Dataset* dataset = nullptr;
+};
+
+/// One parsed statement: exactly one of the two members is set.
+struct ParsedStatement {
+  std::optional<ConditionalStatement> conditional;
+  std::optional<IndividualStatement> individual;
+};
+
+/// Parses a single statement. Errors carry the offending token.
+Result<ParsedStatement> ParseStatement(std::string_view line,
+                                       const ParserContext& context = {});
+
+/// Parses a whole document (one statement per line, blank lines and
+/// '#'-comments skipped) into `kb`. Stops at the first error, reporting
+/// the line number.
+Status ParseKnowledge(std::string_view text, const ParserContext& context,
+                      KnowledgeBase* kb);
+
+}  // namespace pme::knowledge
+
+#endif  // PME_KNOWLEDGE_PARSER_H_

@@ -1,0 +1,39 @@
+#include "knowledge/rule.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pme::knowledge {
+
+std::string AssociationRule::ToString(const data::Dataset& dataset) const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) oss << ",";
+    const auto& attr = dataset.schema().attribute(attrs[i]);
+    oss << attr.name << "=" << attr.dictionary.ValueOf(values[i]);
+  }
+  oss << (positive ? " => " : " => NOT ");
+  auto sa = dataset.schema().SoleSensitiveIndex();
+  if (sa.ok()) {
+    const auto& attr = dataset.schema().attribute(sa.value());
+    oss << attr.name << "=" << attr.dictionary.ValueOf(sa_code);
+  } else {
+    oss << "sa#" << sa_code;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " [conf %.4f supp %.5f]", confidence,
+                support);
+  oss << buf;
+  return oss.str();
+}
+
+bool RuleRankBefore(const AssociationRule& a, const AssociationRule& b) {
+  if (a.confidence != b.confidence) return a.confidence > b.confidence;
+  if (a.support != b.support) return a.support > b.support;
+  if (a.attrs.size() != b.attrs.size()) return a.attrs.size() < b.attrs.size();
+  if (a.attrs != b.attrs) return a.attrs < b.attrs;
+  if (a.values != b.values) return a.values < b.values;
+  return a.sa_code < b.sa_code;
+}
+
+}  // namespace pme::knowledge

@@ -1,0 +1,57 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_KNOWLEDGE_RULE_H_
+#define PME_KNOWLEDGE_RULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace pme::knowledge {
+
+/// An association rule between a QI-attribute value combination Qv and a
+/// sensitive value S (Section 4.4 of the paper).
+///
+/// Positive rules have the form `Qv ⇒ S` ("people with Qv usually have S");
+/// negative rules have the form `Qv ⇒ ¬S` ("people with Qv rarely have S",
+/// e.g. male ⇒ ¬breast-cancer). In both cases the knowledge the rule
+/// contributes to privacy quantification is the data-derived conditional
+/// `P(S = sa_code | Qv)` (Section 4.2: the best source of background
+/// knowledge is the original data itself).
+struct AssociationRule {
+  /// Dataset attribute indices forming Qv (a subset of the QI attributes).
+  std::vector<size_t> attrs;
+  /// The value code of each attribute in `attrs`.
+  std::vector<uint32_t> values;
+  /// The sensitive value S the rule talks about.
+  uint32_t sa_code = 0;
+  /// True for Qv ⇒ S, false for Qv ⇒ ¬S.
+  bool positive = true;
+  /// Association-rule support: P(Qv, S) for positive rules,
+  /// P(Qv, ¬S) for negative rules.
+  double support = 0.0;
+  /// Association-rule confidence: P(S | Qv) for positive rules,
+  /// P(¬S | Qv) for negative rules. Rules are ranked by this value.
+  double confidence = 0.0;
+  /// The asserted knowledge, always P(S = sa_code | Qv), regardless of
+  /// polarity (for a negative rule this equals 1 - confidence).
+  double conditional = 0.0;
+
+  /// Number of QI attributes in the rule (the paper's T).
+  size_t NumQiAttributes() const { return attrs.size(); }
+
+  /// Pretty form "age=22-25,sex=male => education=bachelors [conf 0.61]".
+  std::string ToString(const data::Dataset& dataset) const;
+};
+
+/// Strict weak order ranking rules by descending confidence, breaking ties
+/// by descending support, then by fewer attributes, then lexicographically
+/// (fully deterministic for reproducible Top-K selection).
+bool RuleRankBefore(const AssociationRule& a, const AssociationRule& b);
+
+}  // namespace pme::knowledge
+
+#endif  // PME_KNOWLEDGE_RULE_H_

@@ -1,0 +1,134 @@
+#include "linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pme::linalg {
+
+std::vector<double> DenseMatrix::Multiply(const std::vector<double>& x) const {
+  assert(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += At(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::Transpose() const {
+  DenseMatrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  }
+  return t;
+}
+
+namespace {
+
+/// In-place row echelon reduction; returns the rank.
+size_t EchelonRank(std::vector<double>& m, size_t rows, size_t cols,
+                   double tol) {
+  size_t rank = 0;
+  for (size_t col = 0; col < cols && rank < rows; ++col) {
+    // Partial pivot.
+    size_t pivot = rank;
+    double best = std::fabs(m[rank * cols + col]);
+    for (size_t r = rank + 1; r < rows; ++r) {
+      double v = std::fabs(m[r * cols + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best <= tol) continue;
+    if (pivot != rank) {
+      for (size_t c = 0; c < cols; ++c) {
+        std::swap(m[pivot * cols + c], m[rank * cols + c]);
+      }
+    }
+    const double p = m[rank * cols + col];
+    for (size_t r = rank + 1; r < rows; ++r) {
+      const double f = m[r * cols + col] / p;
+      if (f == 0.0) continue;
+      for (size_t c = col; c < cols; ++c) {
+        m[r * cols + c] -= f * m[rank * cols + c];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace
+
+size_t DenseMatrix::Rank(double tol) const {
+  std::vector<double> work = data_;
+  return EchelonRank(work, rows_, cols_, tol);
+}
+
+bool DenseMatrix::RowSpaceContains(const std::vector<double>& v,
+                                   double tol) const {
+  assert(v.size() == cols_ || rows_ == 0);
+  std::vector<double> work = data_;
+  const size_t base_rank = EchelonRank(work, rows_, cols_, tol);
+  std::vector<double> augmented = data_;
+  augmented.insert(augmented.end(), v.begin(), v.end());
+  const size_t aug_rank = EchelonRank(augmented, rows_ + 1, cols_, tol);
+  return aug_rank == base_rank;
+}
+
+void DenseMatrix::AppendRow(const std::vector<double>& row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  assert(row.size() == cols_);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+Result<std::vector<double>> CholeskySolve(const DenseMatrix& a,
+                                          const std::vector<double>& b,
+                                          double jitter) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("CholeskySolve: matrix not square");
+  }
+  if (b.size() != n) {
+    return Status::InvalidArgument("CholeskySolve: rhs size mismatch");
+  }
+  // Lower-triangular factor, row-major.
+  std::vector<double> l(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      if (i == j) sum += jitter;
+      for (size_t k = 0; k < j; ++k) sum -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::NumericalError(
+              "CholeskySolve: matrix not positive definite");
+        }
+        l[i * n + j] = std::sqrt(sum);
+      } else {
+        l[i * n + j] = sum / l[j * n + j];
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l[i * n + k] * y[k];
+    y[i] = sum / l[i * n + i];
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l[k * n + ii] * x[k];
+    x[ii] = sum / l[ii * n + ii];
+  }
+  return x;
+}
+
+}  // namespace pme::linalg

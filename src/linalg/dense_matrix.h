@@ -1,0 +1,68 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_LINALG_DENSE_MATRIX_H_
+#define PME_LINALG_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pme::linalg {
+
+/// Row-major dense matrix used where problems are small by construction:
+/// per-bucket invariant matrices (a bucket holds ℓ records, so g+h ≤ 2ℓ
+/// rows) and the Newton solver's Hessian.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  /// Zero-initialized rows x cols matrix.
+  DenseMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// y = M x.
+  std::vector<double> Multiply(const std::vector<double>& x) const;
+
+  /// Returns M^T.
+  DenseMatrix Transpose() const;
+
+  /// Rank via Gaussian elimination with partial pivoting; entries whose
+  /// magnitude falls below `tol` are treated as zero. Used to verify the
+  /// paper's Conciseness theorem (rank of a bucket's invariant matrix is
+  /// g + h − 1).
+  size_t Rank(double tol = 1e-10) const;
+
+  /// True iff `v` lies in the row space of this matrix: rank([M; v]) ==
+  /// rank(M). Used to verify the Completeness theorem.
+  bool RowSpaceContains(const std::vector<double>& v,
+                        double tol = 1e-10) const;
+
+  /// Appends a row (must match cols(); first row fixes cols for an empty
+  /// matrix).
+  void AppendRow(const std::vector<double>& row);
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the symmetric positive-definite system `A x = b` via Cholesky
+/// factorization (A = L Lᵀ). Returns kNumericalError if A is not SPD
+/// (within `jitter` added to the diagonal for regularization).
+Result<std::vector<double>> CholeskySolve(const DenseMatrix& a,
+                                          const std::vector<double>& b,
+                                          double jitter = 0.0);
+
+}  // namespace pme::linalg
+
+#endif  // PME_LINALG_DENSE_MATRIX_H_

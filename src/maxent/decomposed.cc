@@ -1,0 +1,105 @@
+#include "maxent/decomposed.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "common/timer.h"
+#include "maxent/closed_form.h"
+#include "maxent/problem.h"
+
+namespace pme::maxent {
+
+DecompositionStats AnalyzeDecomposition(
+    const constraints::TermIndex& index,
+    const constraints::ConstraintSystem& system) {
+  DecompositionStats stats;
+  const std::vector<bool> relevant = system.RelevantBuckets(index);
+  stats.total_variables = index.num_variables();
+  for (uint32_t b = 0; b < index.num_buckets(); ++b) {
+    const auto [first, last] = index.BucketRange(b);
+    if (relevant[b]) {
+      ++stats.relevant_buckets;
+      stats.relevant_variables += last - first;
+    } else {
+      ++stats.irrelevant_buckets;
+    }
+  }
+  return stats;
+}
+
+Result<SolverResult> SolveDecomposed(
+    const anonymize::BucketizedTable& table,
+    const constraints::TermIndex& index,
+    const constraints::ConstraintSystem& system, SolverKind kind,
+    const SolverOptions& options) {
+  Timer timer;
+  const std::vector<bool> relevant = system.RelevantBuckets(index);
+
+  // Dense renumbering of the relevant buckets' variables.
+  std::vector<int64_t> var_map(index.num_variables(), -1);
+  size_t next = 0;
+  for (uint32_t b = 0; b < index.num_buckets(); ++b) {
+    if (!relevant[b]) continue;
+    const auto [first, last] = index.BucketRange(b);
+    for (uint32_t v = first; v < last; ++v) {
+      var_map[v] = static_cast<int64_t>(next++);
+    }
+  }
+
+  SolverResult result;
+  result.kind = kind;
+
+  // Closed form everywhere first; the solver overwrites relevant buckets.
+  result.p = ClosedFormNoKnowledge(table, index);
+
+  if (next > 0) {
+    constraints::ConstraintSystem sub(next);
+    for (const auto& c : system.constraints()) {
+      // A constraint belongs to the subproblem iff it touches a relevant
+      // bucket. Invariants touch exactly one bucket; background rows touch
+      // only relevant buckets by Definition 5.6.
+      bool touches_relevant = false;
+      for (uint32_t v : c.vars) {
+        if (var_map[v] >= 0) {
+          touches_relevant = true;
+          break;
+        }
+      }
+      if (!touches_relevant) continue;
+      constraints::LinearConstraint mapped = c;
+      for (size_t i = 0; i < mapped.vars.size(); ++i) {
+        if (var_map[mapped.vars[i]] < 0) {
+          return Status::Internal(
+              "constraint '" + c.label +
+              "' spans relevant and irrelevant buckets; the relevance "
+              "analysis is inconsistent");
+        }
+        mapped.vars[i] = static_cast<uint32_t>(var_map[mapped.vars[i]]);
+      }
+      sub.Add(std::move(mapped));
+    }
+
+    PME_ASSIGN_OR_RETURN(MaxEntProblem sub_problem, BuildProblem(sub));
+    PME_ASSIGN_OR_RETURN(SolverResult sub_result,
+                         Solve(sub_problem, kind, options));
+
+    for (size_t v = 0; v < var_map.size(); ++v) {
+      if (var_map[v] >= 0) {
+        result.p[v] = sub_result.p[static_cast<size_t>(var_map[v])];
+      }
+    }
+    result.iterations = sub_result.iterations;
+    result.converged = sub_result.converged;
+    result.dual_value = sub_result.dual_value;
+    result.presolve_fixed = sub_result.presolve_fixed;
+  } else {
+    result.converged = true;
+  }
+
+  result.entropy = Entropy(result.p);
+  result.max_violation = system.MaxViolation(result.p);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pme::maxent

@@ -1,0 +1,164 @@
+// Steepest descent and damped Newton minimizers for the MaxEnt dual.
+// These exist for the solver-comparison ablation (Malouf [18]); LBFGS is
+// the production solver.
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "linalg/dense_matrix.h"
+#include "maxent/solvers_internal.h"
+
+namespace pme::maxent::internal {
+namespace {
+
+/// Armijo backtracking shared by the two solvers. Returns true and
+/// updates (lambda, value, grad) on success.
+bool ArmijoStep(const DualFunction& dual, const std::vector<double>& direction,
+                double dir_dot_grad, size_t max_steps,
+                std::vector<double>* lambda, double* value,
+                std::vector<double>* grad) {
+  const double c1 = 1e-4;
+  const size_t m = lambda->size();
+  std::vector<double> trial(m), trial_grad(m);
+  double step = 1.0;
+  for (size_t ls = 0; ls < max_steps; ++ls) {
+    for (size_t j = 0; j < m; ++j) {
+      trial[j] = (*lambda)[j] + step * direction[j];
+    }
+    const double trial_value = dual.Evaluate(trial, &trial_grad, nullptr);
+    if (std::isfinite(trial_value) &&
+        trial_value <= *value + c1 * step * dir_dot_grad) {
+      lambda->swap(trial);
+      grad->swap(trial_grad);
+      *value = trial_value;
+      return true;
+    }
+    step *= 0.5;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<DualOutcome> MinimizeSteepest(const DualFunction& dual,
+                                     const SolverOptions& options) {
+  const size_t m = dual.dim();
+  DualOutcome out;
+  out.lambda.assign(m, 0.0);
+  if (m == 0) {
+    out.converged = true;
+    return out;
+  }
+  std::vector<double> grad(m);
+  double value = dual.Evaluate(out.lambda, &grad, nullptr);
+  std::vector<double> direction(m);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    out.grad_inf = InfNorm(grad);
+    out.iterations = iter;
+    if (out.grad_inf <= options.tolerance) {
+      out.converged = true;
+      out.dual_value = value;
+      return out;
+    }
+    for (size_t j = 0; j < m; ++j) direction[j] = -grad[j];
+    const double dir_dot_grad = -Dot(grad, grad);
+    if (!ArmijoStep(dual, direction, dir_dot_grad,
+                    options.max_line_search_steps, &out.lambda, &value,
+                    &grad)) {
+      break;  // stalled at numerical precision
+    }
+    out.iterations = iter + 1;
+  }
+  out.dual_value = value;
+  out.grad_inf = InfNorm(grad);
+  out.converged = out.grad_inf <= options.tolerance;
+  return out;
+}
+
+Result<DualOutcome> MinimizeNewton(const DualFunction& dual,
+                                   const SolverOptions& options) {
+  const size_t m = dual.dim();
+  if (m > options.newton_max_dim) {
+    return Status::InvalidArgument(
+        "Newton solver: dual dimension " + std::to_string(m) +
+        " exceeds newton_max_dim (" + std::to_string(options.newton_max_dim) +
+        "); use LBFGS for large problems");
+  }
+  DualOutcome out;
+  out.lambda.assign(m, 0.0);
+  if (m == 0) {
+    out.converged = true;
+    return out;
+  }
+
+  const auto& a = dual.matrix();
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& values = a.values();
+
+  std::vector<double> grad(m), p;
+  double value = dual.Evaluate(out.lambda, &grad, &p);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    out.grad_inf = InfNorm(grad);
+    out.iterations = iter;
+    if (out.grad_inf <= options.tolerance) {
+      out.converged = true;
+      out.dual_value = value;
+      return out;
+    }
+
+    // Dense Hessian H = A diag(p) Aᵀ: H_{jk} = Σ_i A_ji p_i A_ki.
+    // Computed row-pair-wise through the shared columns.
+    linalg::DenseMatrix h(m, m);
+    // Accumulate via scatter: for each column i, for each pair of rows
+    // touching i. Build column->rows lists once per solve would be
+    // faster, but Newton is for small duals only.
+    std::vector<std::vector<std::pair<uint32_t, double>>> col_rows(a.cols());
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+        col_rows[cols[k]].push_back({static_cast<uint32_t>(r), values[k]});
+      }
+    }
+    for (size_t i = 0; i < col_rows.size(); ++i) {
+      const auto& rows = col_rows[i];
+      for (const auto& [r1, v1] : rows) {
+        for (const auto& [r2, v2] : rows) {
+          h.At(r1, r2) += v1 * p[i] * v2;
+        }
+      }
+    }
+
+    std::vector<double> neg_grad(m);
+    for (size_t j = 0; j < m; ++j) neg_grad[j] = -grad[j];
+    auto dir = linalg::CholeskySolve(h, neg_grad, options.newton_jitter);
+    std::vector<double> direction;
+    if (dir.ok()) {
+      direction = std::move(dir).value();
+    } else {
+      // Singular Hessian (redundant constraints): fall back to gradient.
+      direction = neg_grad;
+    }
+    double dir_dot_grad = Dot(direction, grad);
+    if (dir_dot_grad >= 0.0) {
+      direction = neg_grad;
+      dir_dot_grad = -Dot(grad, grad);
+    }
+    std::vector<double> dummy_p;
+    if (!ArmijoStep(dual, direction, dir_dot_grad,
+                    options.max_line_search_steps, &out.lambda, &value,
+                    &grad)) {
+      break;
+    }
+    // Refresh p for the next Hessian.
+    value = dual.Evaluate(out.lambda, &grad, &p);
+    out.iterations = iter + 1;
+  }
+  out.dual_value = value;
+  out.grad_inf = InfNorm(grad);
+  out.converged = out.grad_inf <= options.tolerance;
+  return out;
+}
+
+}  // namespace pme::maxent::internal

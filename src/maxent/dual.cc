@@ -1,0 +1,46 @@
+#include "maxent/dual.h"
+
+#include <cassert>
+
+#include "common/math_util.h"
+
+namespace pme::maxent {
+
+DualFunction::DualFunction(const linalg::SparseMatrix* a,
+                           const std::vector<double>* b)
+    : a_(a), b_(b) {
+  assert(a != nullptr && b != nullptr);
+  assert(a->rows() == b->size());
+}
+
+double DualFunction::Evaluate(const std::vector<double>& lambda,
+                              std::vector<double>* grad,
+                              std::vector<double>* p) const {
+  assert(lambda.size() == dim());
+  // t = Aᵀλ, p = exp(t − 1).
+  std::vector<double> t;
+  a_->TransposeMultiply(lambda, t);
+  std::vector<double> local_p;
+  std::vector<double>& pv = p != nullptr ? *p : local_p;
+  pv.resize(t.size());
+  double sum_p = 0.0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    pv[i] = SafeExp(t[i] - 1.0);
+    sum_p += pv[i];
+  }
+  double value = sum_p - Dot(*b_, lambda);
+  if (grad != nullptr) {
+    a_->Multiply(pv, *grad);
+    for (size_t j = 0; j < grad->size(); ++j) (*grad)[j] -= (*b_)[j];
+  }
+  return value;
+}
+
+std::vector<double> DualFunction::Primal(
+    const std::vector<double>& lambda) const {
+  std::vector<double> p;
+  Evaluate(lambda, nullptr, &p);
+  return p;
+}
+
+}  // namespace pme::maxent

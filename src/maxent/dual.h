@@ -1,0 +1,60 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_MAXENT_DUAL_H_
+#define PME_MAXENT_DUAL_H_
+
+#include <vector>
+
+#include "linalg/sparse_matrix.h"
+
+namespace pme::maxent {
+
+/// The Lagrange dual of the equality-constrained MaxEnt problem
+/// (Section 3.3 converts the constrained problem to an unconstrained one
+/// exactly this way).
+///
+/// For  max H(p) s.t. A p = b, p ≥ 0,  stationarity of the Lagrangian
+/// L(p, λ) = H(p) + λᵀ(A p − b) gives  p_i(λ) = exp((Aᵀλ)_i − 1),  and the
+/// dual objective to *minimize* over free λ is
+///
+///   D(λ) = Σ_i exp((Aᵀλ)_i − 1) − bᵀλ,       ∇D(λ) = A p(λ) − b.
+///
+/// D is smooth and convex; its gradient is the constraint residual, so the
+/// solver's convergence measure ‖∇D‖∞ is exactly the worst constraint
+/// violation of the current primal iterate.
+///
+/// The same object serves the inequality-extended problem (Kazama–Tsujii):
+/// stack the inequality rows below the equality rows and constrain their
+/// multipliers to λ_j ≤ 0 (handled by the projected solver).
+class DualFunction {
+ public:
+  /// `a` (m×n) and `b` (size m) must outlive this object.
+  DualFunction(const linalg::SparseMatrix* a, const std::vector<double>* b);
+
+  /// Dual dimension m (number of constraints).
+  size_t dim() const { return b_->size(); }
+  /// Primal dimension n (number of probability terms).
+  size_t num_vars() const { return a_->cols(); }
+
+  /// Evaluates D(λ). When non-null, `grad` receives ∇D (size m) and `p`
+  /// receives the primal iterate p(λ) (size n).
+  double Evaluate(const std::vector<double>& lambda,
+                  std::vector<double>* grad, std::vector<double>* p) const;
+
+  /// The primal iterate p(λ) alone.
+  std::vector<double> Primal(const std::vector<double>& lambda) const;
+
+  /// The constraint matrix A (needed by iterative-scaling solvers for
+  /// column sums) and RHS b.
+  const linalg::SparseMatrix& matrix() const { return *a_; }
+  const std::vector<double>& rhs() const { return *b_; }
+
+ private:
+  const linalg::SparseMatrix* a_;
+  const std::vector<double>* b_;
+};
+
+}  // namespace pme::maxent
+
+#endif  // PME_MAXENT_DUAL_H_

@@ -1,0 +1,156 @@
+#include <cmath>
+#include <deque>
+
+#include "common/math_util.h"
+#include "maxent/solvers_internal.h"
+
+namespace pme::maxent::internal {
+namespace {
+
+/// Armijo backtracking. On success updates (lambda, value, grad) and
+/// returns true.
+bool Backtrack(const DualFunction& dual, const std::vector<double>& direction,
+               double dir_dot_grad, double initial_step, size_t max_steps,
+               std::vector<double>* lambda, double* value,
+               std::vector<double>* grad, std::vector<double>* scratch_lambda,
+               std::vector<double>* scratch_grad) {
+  const double c1 = 1e-4;
+  const size_t m = lambda->size();
+  double step = initial_step;
+  for (size_t ls = 0; ls < max_steps; ++ls) {
+    for (size_t j = 0; j < m; ++j) {
+      (*scratch_lambda)[j] = (*lambda)[j] + step * direction[j];
+    }
+    const double trial_value =
+        dual.Evaluate(*scratch_lambda, scratch_grad, nullptr);
+    if (std::isfinite(trial_value) &&
+        trial_value <= *value + c1 * step * dir_dot_grad) {
+      lambda->swap(*scratch_lambda);
+      grad->swap(*scratch_grad);
+      *value = trial_value;
+      return true;
+    }
+    step *= 0.5;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
+                                  const SolverOptions& options) {
+  const size_t m = dual.dim();
+  DualOutcome out;
+  out.lambda.assign(m, 0.0);
+  if (m == 0) {
+    out.converged = true;
+    return out;
+  }
+
+  std::vector<double> grad(m, 0.0);
+  double value = dual.Evaluate(out.lambda, &grad, nullptr);
+
+  // Correction-pair history for the two-loop recursion.
+  std::deque<std::vector<double>> s_hist, y_hist;
+  std::deque<double> rho_hist;
+
+  std::vector<double> direction(m), scratch_lambda(m), scratch_grad(m);
+  std::vector<double> prev_lambda(m), prev_grad(m);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    out.grad_inf = InfNorm(grad);
+    if (out.grad_inf <= options.tolerance) {
+      out.converged = true;
+      out.iterations = iter;
+      out.dual_value = value;
+      return out;
+    }
+
+    // Two-loop recursion: direction = -H_k * grad.
+    direction = grad;
+    std::vector<double> alpha(s_hist.size());
+    for (size_t i = s_hist.size(); i-- > 0;) {
+      alpha[i] = rho_hist[i] * Dot(s_hist[i], direction);
+      Axpy(-alpha[i], y_hist[i], direction);
+    }
+    if (!s_hist.empty()) {
+      // Initial Hessian scale gamma = sᵀy / yᵀy (Nocedal's choice).
+      const auto& s = s_hist.back();
+      const auto& y = y_hist.back();
+      const double gamma = Dot(s, y) / Dot(y, y);
+      for (double& d : direction) d *= gamma;
+    }
+    for (size_t i = 0; i < s_hist.size(); ++i) {
+      const double beta = rho_hist[i] * Dot(y_hist[i], direction);
+      Axpy(alpha[i] - beta, s_hist[i], direction);
+    }
+    for (double& d : direction) d = -d;
+
+    double dir_dot_grad = Dot(direction, grad);
+    if (dir_dot_grad >= 0.0) {
+      // Stale curvature produced an ascent direction: restart from
+      // steepest descent.
+      s_hist.clear();
+      y_hist.clear();
+      rho_hist.clear();
+      for (size_t j = 0; j < m; ++j) direction[j] = -grad[j];
+      dir_dot_grad = -Dot(grad, grad);
+    }
+
+    prev_lambda = out.lambda;
+    prev_grad = grad;
+
+    bool accepted = Backtrack(dual, direction, dir_dot_grad, 1.0,
+                              options.max_line_search_steps, &out.lambda,
+                              &value, &grad, &scratch_lambda, &scratch_grad);
+    if (!accepted && !s_hist.empty()) {
+      // The quasi-Newton direction may be badly scaled (near-degenerate
+      // curvature); drop the memory and retry along the raw gradient with
+      // a conservatively normalized first step.
+      s_hist.clear();
+      y_hist.clear();
+      rho_hist.clear();
+      const double gnorm = TwoNorm(grad);
+      for (size_t j = 0; j < m; ++j) direction[j] = -grad[j];
+      accepted = Backtrack(dual, direction, -gnorm * gnorm,
+                           1.0 / std::max(1.0, gnorm),
+                           options.max_line_search_steps, &out.lambda, &value,
+                           &grad, &scratch_lambda, &scratch_grad);
+    }
+    if (!accepted) {
+      // Even steepest descent cannot improve: the iterate is at numerical
+      // precision for this problem.
+      out.iterations = iter + 1;
+      out.dual_value = value;
+      out.grad_inf = InfNorm(grad);
+      out.converged = out.grad_inf <= options.tolerance;
+      return out;
+    }
+
+    // Update history with the accepted move.
+    std::vector<double> s(m), y(m);
+    for (size_t j = 0; j < m; ++j) {
+      s[j] = out.lambda[j] - prev_lambda[j];
+      y[j] = grad[j] - prev_grad[j];
+    }
+    const double sy = Dot(s, y);
+    if (sy > 1e-12 * TwoNorm(s) * TwoNorm(y)) {
+      s_hist.push_back(std::move(s));
+      y_hist.push_back(std::move(y));
+      rho_hist.push_back(1.0 / sy);
+      if (s_hist.size() > options.lbfgs_history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    }
+    out.iterations = iter + 1;
+  }
+
+  out.dual_value = value;
+  out.grad_inf = InfNorm(grad);
+  out.converged = out.grad_inf <= options.tolerance;
+  return out;
+}
+
+}  // namespace pme::maxent::internal

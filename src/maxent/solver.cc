@@ -1,0 +1,148 @@
+#include "maxent/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/timer.h"
+#include "maxent/dual.h"
+#include "maxent/solvers_internal.h"
+
+namespace pme::maxent {
+namespace {
+
+/// Stacks equality rows above inequality rows into a single matrix for
+/// the projected (sign-constrained) dual.
+Result<linalg::SparseMatrix> StackMatrices(const linalg::SparseMatrix& eq,
+                                           const linalg::SparseMatrix& ineq) {
+  std::vector<linalg::Triplet> triplets;
+  triplets.reserve(eq.nnz() + ineq.nnz());
+  auto append = [&triplets](const linalg::SparseMatrix& m, uint32_t row_base) {
+    const auto& offsets = m.row_offsets();
+    const auto& cols = m.col_indices();
+    const auto& values = m.values();
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+        triplets.push_back(
+            {row_base + static_cast<uint32_t>(r), cols[k], values[k]});
+      }
+    }
+  };
+  append(eq, 0);
+  append(ineq, static_cast<uint32_t>(eq.rows()));
+  return linalg::SparseMatrix::FromTriplets(eq.rows() + ineq.rows(),
+                                            eq.cols(), std::move(triplets));
+}
+
+/// Worst violation of the *original* problem at full-space solution p.
+double ProblemViolation(const MaxEntProblem& problem,
+                        const std::vector<double>& p) {
+  double worst = 0.0;
+  std::vector<double> lhs;
+  problem.eq.Multiply(p, lhs);
+  for (size_t j = 0; j < lhs.size(); ++j) {
+    worst = std::max(worst, std::fabs(lhs[j] - problem.eq_rhs[j]));
+  }
+  problem.ineq.Multiply(p, lhs);
+  for (size_t j = 0; j < lhs.size(); ++j) {
+    worst = std::max(worst, std::max(0.0, lhs[j] - problem.ineq_rhs[j]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+const char* SolverKindToString(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kLbfgs:
+      return "lbfgs";
+    case SolverKind::kGis:
+      return "gis";
+    case SolverKind::kIis:
+      return "iis";
+    case SolverKind::kSteepest:
+      return "steepest";
+    case SolverKind::kNewton:
+      return "newton";
+  }
+  return "unknown";
+}
+
+Result<SolverResult> Solve(const MaxEntProblem& problem, SolverKind kind,
+                           const SolverOptions& options) {
+  Timer timer;
+  SolverResult result;
+  result.kind = kind;
+
+  // Presolve (or pass-through).
+  PresolvedProblem pre;
+  if (options.presolve) {
+    PME_ASSIGN_OR_RETURN(pre, Presolve(problem));
+  } else {
+    pre.reduced = problem;
+    pre.var_map.resize(problem.num_vars);
+    pre.fixed_values.assign(problem.num_vars, 0.0);
+    for (size_t v = 0; v < problem.num_vars; ++v) {
+      pre.var_map[v] = static_cast<int64_t>(v);
+    }
+  }
+  result.presolve_fixed = pre.num_fixed;
+  const MaxEntProblem& reduced = pre.reduced;
+
+  std::vector<double> reduced_p(reduced.num_vars, 0.0);
+  if (reduced.num_vars > 0) {
+    internal::DualOutcome outcome;
+    if (reduced.has_inequalities()) {
+      PME_ASSIGN_OR_RETURN(auto stacked,
+                           StackMatrices(reduced.eq, reduced.ineq));
+      std::vector<double> rhs = reduced.eq_rhs;
+      rhs.insert(rhs.end(), reduced.ineq_rhs.begin(), reduced.ineq_rhs.end());
+      DualFunction dual(&stacked, &rhs);
+      PME_ASSIGN_OR_RETURN(
+          outcome,
+          internal::MinimizeProjected(dual, reduced.eq.rows(), options));
+      reduced_p = dual.Primal(outcome.lambda);
+    } else {
+      DualFunction dual(&reduced.eq, &reduced.eq_rhs);
+      switch (kind) {
+        case SolverKind::kLbfgs: {
+          PME_ASSIGN_OR_RETURN(outcome,
+                               internal::MinimizeLbfgs(dual, options));
+          break;
+        }
+        case SolverKind::kGis: {
+          PME_ASSIGN_OR_RETURN(outcome, internal::MinimizeGis(dual, options));
+          break;
+        }
+        case SolverKind::kIis: {
+          PME_ASSIGN_OR_RETURN(outcome, internal::MinimizeIis(dual, options));
+          break;
+        }
+        case SolverKind::kSteepest: {
+          PME_ASSIGN_OR_RETURN(outcome,
+                               internal::MinimizeSteepest(dual, options));
+          break;
+        }
+        case SolverKind::kNewton: {
+          PME_ASSIGN_OR_RETURN(outcome,
+                               internal::MinimizeNewton(dual, options));
+          break;
+        }
+      }
+      reduced_p = dual.Primal(outcome.lambda);
+    }
+    result.iterations = outcome.iterations;
+    result.converged = outcome.converged;
+    result.dual_value = outcome.dual_value;
+  } else {
+    result.converged = true;
+  }
+
+  result.p = pre.Restore(reduced_p);
+  result.entropy = Entropy(result.p);
+  result.max_violation = ProblemViolation(problem, result.p);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pme::maxent

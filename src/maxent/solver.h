@@ -1,0 +1,92 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_MAXENT_SOLVER_H_
+#define PME_MAXENT_SOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "maxent/problem.h"
+
+namespace pme::maxent {
+
+/// Available dual minimizers. The paper's implementation uses LBFGS
+/// (Nocedal [16]); GIS [8], IIS [20], steepest descent and Newton's method
+/// are provided for the Malouf-style solver comparison ([18], Section 3.3).
+enum class SolverKind : int {
+  kLbfgs = 0,
+  kGis = 1,
+  kIis = 2,
+  kSteepest = 3,
+  kNewton = 4,
+};
+
+const char* SolverKindToString(SolverKind kind);
+
+/// Tuning knobs common to all solvers.
+struct SolverOptions {
+  /// Iteration budget for the dual minimization. Iterations are cheap
+  /// (two sparse matrix-vector products each); hard zero-targets in the
+  /// knowledge need a deep tail of iterations to push multipliers far
+  /// out, so the default budget is generous — accuracy experiments must
+  /// never return a silently unconverged posterior.
+  size_t max_iterations = 20000;
+  /// Convergence threshold on ‖∇D‖∞ — i.e. the worst constraint
+  /// violation of the primal iterate.
+  double tolerance = 1e-8;
+  /// LBFGS memory (number of (s, y) correction pairs).
+  size_t lbfgs_history = 10;
+  /// Backtracking line-search step budget.
+  size_t max_line_search_steps = 60;
+  /// Diagonal regularization for the Newton solver's Hessian.
+  double newton_jitter = 1e-9;
+  /// Run the structural presolve (zero forcing / singleton substitution)
+  /// before the iterative solve. Strongly recommended: hard zeros in the
+  /// constraints otherwise require unbounded multipliers.
+  bool presolve = true;
+  /// Dual dimension above which the dense Newton solver refuses to run.
+  size_t newton_max_dim = 4000;
+};
+
+/// Outcome of a MaxEnt solve.
+struct SolverResult {
+  /// The maximum-entropy joint distribution over the *full* variable
+  /// space (fixed variables restored).
+  std::vector<double> p;
+  /// Dual iterations actually performed.
+  size_t iterations = 0;
+  /// Final dual objective value (reduced problem).
+  double dual_value = 0.0;
+  /// Worst constraint violation at the returned solution.
+  double max_violation = 0.0;
+  /// Entropy −Σ p ln p of the returned solution (nats).
+  double entropy = 0.0;
+  /// Wall-clock seconds of the solve (excluding problem construction).
+  double seconds = 0.0;
+  /// True when the tolerance was met within the iteration budget.
+  bool converged = false;
+  /// Variables eliminated by presolve.
+  size_t presolve_fixed = 0;
+  /// Which solver produced this result.
+  SolverKind kind = SolverKind::kLbfgs;
+};
+
+/// Solves the MaxEnt problem with the chosen solver.
+///
+/// Equality-only problems use the requested `kind` directly. Problems with
+/// inequality rows (Section 4.5 / Kazama–Tsujii) are solved by projected
+/// gradient on the stacked dual with sign-constrained multipliers,
+/// regardless of `kind` (GIS/IIS/Newton have no inequality variants here).
+///
+/// Returns kNotConverged (with the best iterate embedded in the message)
+/// only for genuinely failed solves; hitting max_iterations with a small
+/// residual still returns OK with `converged == false`.
+Result<SolverResult> Solve(const MaxEntProblem& problem,
+                           SolverKind kind = SolverKind::kLbfgs,
+                           const SolverOptions& options = {});
+
+}  // namespace pme::maxent
+
+#endif  // PME_MAXENT_SOLVER_H_

@@ -1,0 +1,261 @@
+// Tests for src/anonymize: the bucketized table (Figure 1(c)), the
+// Anatomy ℓ-diversity bucketizer, diversity checkers, and the pseudonym
+// expansion (Figure 4).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "anonymize/anatomy.h"
+#include "anonymize/bucketized_table.h"
+#include "anonymize/diversity.h"
+#include "anonymize/pseudonym.h"
+#include "data/adult_synth.h"
+#include "tests/test_util.h"
+
+namespace pme::anonymize {
+namespace {
+
+using testing::kQ1;
+using testing::kQ2;
+using testing::kQ3;
+using testing::kQ4;
+using testing::kQ5;
+using testing::kQ6;
+using testing::kS1;
+using testing::kS2;
+using testing::kS3;
+using testing::kS4;
+using testing::kS5;
+
+// ----------------------------------------------------- BucketizedTable
+
+TEST(BucketizedTableTest, Figure1Shape) {
+  auto t = testing::MakeFigure1Table();
+  EXPECT_EQ(t.num_records(), 10u);
+  EXPECT_EQ(t.num_buckets(), 3u);
+  EXPECT_EQ(t.num_qi_values(), 6u);
+  EXPECT_EQ(t.num_sa_values(), 5u);
+  EXPECT_EQ(t.BucketQis(0).size(), 4u);
+  EXPECT_EQ(t.BucketQis(1).size(), 3u);
+  EXPECT_EQ(t.BucketQis(2).size(), 3u);
+}
+
+TEST(BucketizedTableTest, PaperProbabilities) {
+  auto t = testing::MakeFigure1Table();
+  // Paper: P(q1, 1) = 2/10.
+  EXPECT_DOUBLE_EQ(t.ProbQB(kQ1, 0), 0.2);
+  // Paper: P(s4, 2) = 1/10 (bucket index 1 here).
+  EXPECT_DOUBLE_EQ(t.ProbSB(kS4, 1), 0.1);
+  // P(q1) = 3/10 (twice in bucket 1, once in bucket 2).
+  EXPECT_DOUBLE_EQ(t.ProbQ(kQ1), 0.3);
+  // P(male) analog: q3 occurs in buckets 1 and 2.
+  EXPECT_DOUBLE_EQ(t.ProbQ(kQ3), 0.2);
+  EXPECT_DOUBLE_EQ(t.ProbB(0), 0.4);
+  EXPECT_DOUBLE_EQ(t.ProbB(1), 0.3);
+}
+
+TEST(BucketizedTableTest, MembershipAndZeroInvariantFacts) {
+  auto t = testing::MakeFigure1Table();
+  // Paper: q1 does not appear in the 3rd bucket; s1 does not either.
+  EXPECT_FALSE(t.QiInBucket(kQ1, 2));
+  EXPECT_FALSE(t.SaInBucket(kS1, 2));
+  EXPECT_TRUE(t.QiInBucket(kQ1, 0));
+  EXPECT_TRUE(t.SaInBucket(kS4, 1));
+  EXPECT_EQ(t.BucketsWithQi(kQ1), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(t.BucketsWithSa(kS2), (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(BucketizedTableTest, SaMultisetIsSortedAndCounted) {
+  auto t = testing::MakeFigure1Table();
+  EXPECT_EQ(t.BucketSas(0), (std::vector<uint32_t>{kS1, kS2, kS2, kS3}));
+  const auto& counts = t.BucketSaCounts(0);
+  EXPECT_EQ(counts.at(kS2), 2u);
+  EXPECT_EQ(counts.at(kS1), 1u);
+}
+
+TEST(BucketizedTableTest, TrueConditionalMatchesOriginalData) {
+  auto t = testing::MakeFigure1Table();
+  // Allen/Brian/Ethan are q1 with diseases s2, s3, s4: each 1/3.
+  EXPECT_NEAR(t.TrueConditional(kQ1, kS2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(t.TrueConditional(kQ1, kS1), 0.0, 1e-12);
+  // Cathy and Helen are q2 with s1 and s4.
+  EXPECT_NEAR(t.TrueConditional(kQ2, kS1), 0.5, 1e-12);
+  EXPECT_NEAR(t.TrueConditional(kQ2, kS4), 0.5, 1e-12);
+}
+
+TEST(BucketizedTableTest, DefaultNamesFollowPaperNotation) {
+  auto t = testing::MakeFigure1Table();
+  EXPECT_EQ(t.QiName(kQ1), "q1");
+  EXPECT_EQ(t.SaName(kS5), "s5");
+}
+
+TEST(BucketizedTableTest, RejectsEmptyAndSparseBuckets) {
+  EXPECT_FALSE(BucketizedTable::Create({}).ok());
+  // Bucket 0 missing (only bucket 1 used).
+  std::vector<AbstractRecord> sparse = {{0, 0, 1}};
+  EXPECT_FALSE(BucketizedTable::Create(sparse).ok());
+}
+
+TEST(BucketizeDatasetTest, MatchesAbstractForm) {
+  auto dataset = testing::MakeFigure1Dataset();
+  auto bz = BucketizeDataset(dataset, testing::Figure1Partition()).ValueOrDie();
+  const auto& t = bz.table;
+  auto ref = testing::MakeFigure1Table();
+  ASSERT_EQ(t.num_records(), ref.num_records());
+  ASSERT_EQ(t.num_qi_values(), ref.num_qi_values());
+  for (size_t i = 0; i < t.records().size(); ++i) {
+    EXPECT_EQ(t.records()[i].qi, ref.records()[i].qi);
+    EXPECT_EQ(t.records()[i].sa, ref.records()[i].sa);
+    EXPECT_EQ(t.records()[i].bucket, ref.records()[i].bucket);
+  }
+  EXPECT_EQ(t.QiName(kQ1), "gender=male,degree=college");
+  EXPECT_EQ(t.SaName(kS1), "breast-cancer");
+}
+
+TEST(BucketizeDatasetTest, PartitionSizeMustMatch) {
+  auto dataset = testing::MakeFigure1Dataset();
+  EXPECT_FALSE(BucketizeDataset(dataset, {0, 1}).ok());
+}
+
+// ------------------------------------------------------------- Anatomy
+
+TEST(AnatomyTest, ProducesEllSizedDiverseBuckets) {
+  data::AdultSynthOptions options;
+  options.num_records = 1000;
+  auto dataset = data::GenerateAdultLike(options).ValueOrDie();
+  AnatomyOptions anatomy;
+  anatomy.ell = 5;
+  auto partition = AnatomyPartition(dataset, anatomy).ValueOrDie();
+  auto bz = BucketizeDataset(dataset, partition).ValueOrDie();
+  EXPECT_EQ(bz.table.num_buckets(), 200u);  // 1000 / 5
+
+  const uint32_t exempt = MostFrequentSa(bz.table);
+  for (uint32_t b = 0; b < bz.table.num_buckets(); ++b) {
+    EXPECT_EQ(bz.table.BucketQis(b).size(), 5u);
+    // Non-exempt values must be distinct within the bucket.
+    for (const auto& [s, cnt] : bz.table.BucketSaCounts(b)) {
+      if (s != exempt) EXPECT_EQ(cnt, 1u) << "bucket " << b;
+    }
+  }
+  EXPECT_TRUE(SatisfiesDistinctDiversity(bz.table, 4, exempt) ||
+              SatisfiesDistinctDiversity(bz.table, 5, exempt));
+}
+
+TEST(AnatomyTest, PaperScaleBucketCount) {
+  data::AdultSynthOptions options;
+  options.num_records = 14210;
+  auto dataset = data::GenerateAdultLike(options).ValueOrDie();
+  auto partition = AnatomyPartition(dataset, {}).ValueOrDie();
+  uint32_t max_bucket = 0;
+  for (uint32_t b : partition) max_bucket = std::max(max_bucket, b);
+  EXPECT_EQ(max_bucket + 1, 2842u);  // paper: 2842 buckets of 5
+}
+
+TEST(AnatomyTest, DeterministicForSeed) {
+  data::AdultSynthOptions options;
+  options.num_records = 300;
+  auto dataset = data::GenerateAdultLike(options).ValueOrDie();
+  auto p1 = AnatomyPartition(dataset, {}).ValueOrDie();
+  auto p2 = AnatomyPartition(dataset, {}).ValueOrDie();
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(AnatomyTest, FailsWhenOneValueDominatesWithoutExemption) {
+  data::Schema schema;
+  schema.AddAttribute("q", data::AttributeRole::kQuasiIdentifier);
+  schema.AddAttribute("s", data::AttributeRole::kSensitive);
+  data::Dataset d(std::move(schema));
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(d.AppendRecordValues({"x", "dominant"}).ok());
+  }
+  ASSERT_TRUE(d.AppendRecordValues({"x", "rare"}).ok());
+  AnatomyOptions options;
+  options.ell = 2;
+  options.exempt_most_frequent = false;
+  EXPECT_EQ(AnatomyPartition(d, options).status().code(),
+            StatusCode::kFailedPrecondition);
+  // With the exemption (paper footnote 3) the same data partitions fine.
+  options.exempt_most_frequent = true;
+  EXPECT_TRUE(AnatomyPartition(d, options).ok());
+}
+
+TEST(AnatomyTest, RejectsBadArguments) {
+  auto dataset = testing::MakeFigure1Dataset();
+  AnatomyOptions options;
+  options.ell = 0;
+  EXPECT_FALSE(AnatomyPartition(dataset, options).ok());
+}
+
+// ----------------------------------------------------------- Diversity
+
+TEST(DiversityTest, DistinctCounts) {
+  auto t = testing::MakeFigure1Table();
+  EXPECT_EQ(DistinctDiversity(t, 0), 3u);  // {s1, s2, s3}
+  EXPECT_EQ(DistinctDiversity(t, 1), 3u);
+  EXPECT_EQ(DistinctDiversity(t, 2), 3u);
+  // Exempting s2 removes one distinct value from buckets 1 and 3.
+  EXPECT_EQ(DistinctDiversity(t, 0, kS2), 2u);
+  EXPECT_EQ(DistinctDiversity(t, 1, kS2), 3u);
+}
+
+TEST(DiversityTest, EntropyDiversity) {
+  auto t = testing::MakeFigure1Table();
+  // Bucket 2 has three equiprobable values: effective candidates = 3.
+  EXPECT_NEAR(EntropyDiversity(t, 1), 3.0, 1e-9);
+  // Bucket 1 has {1/4, 2/4, 1/4}: entropy < log 4 but > log 2.
+  EXPECT_LT(EntropyDiversity(t, 0), 4.0);
+  EXPECT_GT(EntropyDiversity(t, 0), 2.0);
+}
+
+TEST(DiversityTest, MeasureAndSatisfy) {
+  auto t = testing::MakeFigure1Table();
+  auto report = MeasureDiversity(t);
+  EXPECT_EQ(report.min_distinct, 3u);
+  EXPECT_TRUE(SatisfiesDistinctDiversity(t, 3));
+  EXPECT_FALSE(SatisfiesDistinctDiversity(t, 4));
+}
+
+TEST(DiversityTest, MostFrequentSa) {
+  auto t = testing::MakeFigure1Table();
+  EXPECT_EQ(MostFrequentSa(t), kS2);  // Flu appears 3 times
+}
+
+// ----------------------------------------------------------- Pseudonyms
+
+TEST(PseudonymTest, Figure4Expansion) {
+  auto t = testing::MakeFigure1Table();
+  auto p = PseudonymTable::Create(&t).ValueOrDie();
+  EXPECT_EQ(p.num_pseudonyms(), 10u);
+  // Figure 4: q1 -> {i1, i2, i3}; q2 -> {i4, i5}; q4 -> {i8}; q5 -> {i9}.
+  EXPECT_EQ(p.PseudonymsOf(kQ1), (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(p.PseudonymsOf(kQ2), (std::vector<uint32_t>{3, 4}));
+  EXPECT_EQ(p.PseudonymsOf(kQ4), (std::vector<uint32_t>{7}));
+  EXPECT_EQ(p.Name(0), "i1");
+  EXPECT_EQ(p.Name(9), "i10");
+  EXPECT_EQ(p.QiOf(8), kQ5);
+}
+
+TEST(PseudonymTest, CandidateBucketsFollowQi) {
+  auto t = testing::MakeFigure1Table();
+  auto p = PseudonymTable::Create(&t).ValueOrDie();
+  // Any of q1's pseudonyms may sit in bucket 1 or bucket 2.
+  EXPECT_EQ(p.CandidateBuckets(0), (std::vector<uint32_t>{0, 1}));
+  // q6 is unique to bucket 3.
+  EXPECT_EQ(p.CandidateBuckets(9), (std::vector<uint32_t>{2}));
+}
+
+TEST(PseudonymTest, ClaimingExhaustsOccurrences) {
+  auto t = testing::MakeFigure1Table();
+  auto p = PseudonymTable::Create(&t).ValueOrDie();
+  EXPECT_EQ(p.ClaimPseudonym(kQ2).ValueOrDie(), 3u);
+  EXPECT_EQ(p.ClaimPseudonym(kQ2).ValueOrDie(), 4u);
+  EXPECT_EQ(p.ClaimPseudonym(kQ2).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(p.ClaimPseudonym(99).ok());
+}
+
+}  // namespace
+}  // namespace pme::anonymize

@@ -1,0 +1,291 @@
+// Tests for src/common: Status/Result, PRNG, math utilities, string
+// utilities, and the flag parser.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/flags.h"
+#include "common/math_util.h"
+#include "common/prng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace pme {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "not_found");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInfeasible), "infeasible");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotConverged),
+               "not_converged");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNumericalError),
+               "numerical_error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalve(int x, int* out) {
+  PME_ASSIGN_OR_RETURN(*out, HalveEven(x));
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalve(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseHalve(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------ Prng
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  Prng prng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = prng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(PrngTest, NextBoundedCoversRangeWithoutBias) {
+  Prng prng(9);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[prng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(PrngTest, GaussianMomentsAreSane) {
+  Prng prng(11);
+  double sum = 0.0, sq = 0.0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = prng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.02);
+}
+
+TEST(PrngTest, CategoricalRespectsWeights) {
+  Prng prng(13);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[prng.NextCategorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / double(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / double(kDraws), 0.6, 0.01);
+}
+
+TEST(PrngTest, ShufflePreservesMultiset) {
+  Prng prng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  prng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------- MathUtil
+
+TEST(MathUtilTest, SafeExpClampsExtremes) {
+  EXPECT_TRUE(std::isfinite(SafeExp(1e6)));
+  EXPECT_GT(SafeExp(1e6), 1e300);
+  EXPECT_GE(SafeExp(-1e6), 0.0);
+  EXPECT_NEAR(SafeExp(1.0), std::exp(1.0), 1e-12);
+}
+
+TEST(MathUtilTest, XLogXConvention) {
+  EXPECT_EQ(XLogX(0.0), 0.0);
+  EXPECT_EQ(XLogX(-1.0), 0.0);
+  EXPECT_NEAR(XLogX(1.0), 0.0, 1e-15);
+  EXPECT_NEAR(XLogX(0.5), 0.5 * std::log(0.5), 1e-15);
+}
+
+TEST(MathUtilTest, EntropyUniformIsLogN) {
+  std::vector<double> p(8, 1.0 / 8);
+  EXPECT_NEAR(Entropy(p), std::log(8.0), 1e-12);
+}
+
+TEST(MathUtilTest, EntropyOfPointMassIsZero) {
+  EXPECT_NEAR(Entropy({1.0, 0.0, 0.0}), 0.0, 1e-15);
+}
+
+TEST(MathUtilTest, KlDivergenceProperties) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<double> q = {0.9, 0.1};
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-15);
+  // Zero p-entries contribute nothing even against zero q.
+  EXPECT_NEAR(KlDivergence({0.0, 1.0}, {0.0, 1.0}), 0.0, 1e-15);
+  // Zero q against positive p is floored, not infinite.
+  EXPECT_TRUE(std::isfinite(KlDivergence({1.0, 0.0}, {0.0, 1.0})));
+}
+
+TEST(MathUtilTest, LogSumExpStability) {
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp({-1000.0, -1000.0}), -1000.0 + std::log(2.0), 1e-9);
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathUtilTest, VectorOps) {
+  std::vector<double> a = {3.0, -4.0};
+  EXPECT_NEAR(TwoNorm(a), 5.0, 1e-15);
+  EXPECT_NEAR(InfNorm(a), 4.0, 1e-15);
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_NEAR(Dot(a, b), -5.0, 1e-15);
+  Axpy(2.0, b, a);  // a = {5, 0}
+  EXPECT_NEAR(a[0], 5.0, 1e-15);
+  EXPECT_NEAR(a[1], 0.0, 1e-15);
+}
+
+TEST(MathUtilTest, NormalizeInPlace) {
+  std::vector<double> v = {1.0, 3.0};
+  EXPECT_TRUE(NormalizeInPlace(v));
+  EXPECT_NEAR(v[0], 0.25, 1e-15);
+  EXPECT_NEAR(v[1], 0.75, 1e-15);
+  std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_FALSE(NormalizeInPlace(zeros));
+}
+
+TEST(MathUtilTest, BinomialCoefficient) {
+  EXPECT_EQ(BinomialCoefficient(8, 0), 1.0);
+  EXPECT_EQ(BinomialCoefficient(8, 8), 1.0);
+  EXPECT_EQ(BinomialCoefficient(8, 3), 56.0);
+  EXPECT_EQ(BinomialCoefficient(8, 9), 0.0);
+  EXPECT_EQ(BinomialCoefficient(5, -1), 0.0);
+}
+
+// ----------------------------------------------------------- StringUtil
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, ParseIntStrict) {
+  long long v = 0;
+  EXPECT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt("4x", &v));
+  EXPECT_FALSE(ParseInt("", &v));
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.25", &v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(ParseDouble("1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+TEST(StringUtilTest, FormatDoubleRoundTrips) {
+  for (double v : {0.1, 1.0 / 3.0, 123456.789, 1e-17, 0.0}) {
+    double back = 0;
+    ASSERT_TRUE(ParseDouble(FormatDouble(v), &back));
+    EXPECT_EQ(back, v);
+  }
+}
+
+// ---------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog",   "--k=5",      "--name=fig5",
+                        "--full", "positional", "--rate=0.5"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("k", 0), 5);
+  EXPECT_EQ(flags.GetString("name", ""), "fig5");
+  EXPECT_TRUE(flags.GetBool("full", false));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 0.5);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, NonNumericFallsBackToDefault) {
+  const char* argv[] = {"prog", "--k=abc"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("k", 3), 3);
+}
+
+}  // namespace
+}  // namespace pme

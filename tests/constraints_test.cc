@@ -1,0 +1,454 @@
+// Tests for src/constraints: term indexing (Zero-invariants), the QI-/SA-
+// invariant equations with the paper's hand-computed values, assignments,
+// the background-knowledge compiler (Section 4.1's worked example), and
+// the constraint system / irrelevant-bucket analysis.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "anonymize/bucketized_table.h"
+#include "constraints/assignment.h"
+#include "constraints/bk_compiler.h"
+#include "constraints/invariants.h"
+#include "constraints/system.h"
+#include "constraints/term_index.h"
+#include "tests/test_util.h"
+
+namespace pme::constraints {
+namespace {
+
+using pme::testing::kQ1;
+using pme::testing::kQ2;
+using pme::testing::kQ3;
+using pme::testing::kQ4;
+using pme::testing::kQ5;
+using pme::testing::kQ6;
+using pme::testing::kS1;
+using pme::testing::kS2;
+using pme::testing::kS3;
+using pme::testing::kS4;
+using pme::testing::kS5;
+
+// ------------------------------------------------------------ TermIndex
+
+TEST(TermIndexTest, MaterializesOnlyInBucketTerms) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  // Each Figure 1(c) bucket has 3 distinct QIs and 3 distinct SAs.
+  EXPECT_EQ(index.num_variables(), 27u);
+  EXPECT_EQ(index.num_buckets(), 3u);
+  auto [b0_first, b0_last] = index.BucketRange(0);
+  EXPECT_EQ(b0_last - b0_first, 9u);
+}
+
+TEST(TermIndexTest, ZeroInvariantsAreStructural) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  // Paper: q1 not in bucket 3, s1 not in bucket 3.
+  EXPECT_TRUE(index.IsZeroInvariant(kQ1, kS2, 2));
+  EXPECT_TRUE(index.IsZeroInvariant(kQ2, kS1, 2));
+  EXPECT_FALSE(index.IsZeroInvariant(kQ1, kS2, 0));
+  EXPECT_EQ(index.VariableId(kQ1, kS2, 2).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TermIndexTest, RoundTripVariableIds) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  for (uint32_t var = 0; var < index.num_variables(); ++var) {
+    const Term& term = index.TermOf(var);
+    EXPECT_EQ(index.VariableId(term.qi, term.sa, term.bucket).ValueOrDie(),
+              var);
+  }
+}
+
+TEST(TermIndexTest, TermNamesUsePaperNotation) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  const uint32_t var = index.VariableId(kQ1, kS2, 0).ValueOrDie();
+  EXPECT_EQ(index.TermName(var, t), "P(q1,s2,b1)");
+}
+
+// ----------------------------------------------------------- Invariants
+
+TEST(InvariantsTest, CountsPerBucket) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto invariants = GenerateInvariants(t, index);
+  // g + h = 6 per bucket, 3 buckets.
+  EXPECT_EQ(invariants.size(), 18u);
+  InvariantOptions concise;
+  concise.drop_redundant_row = true;
+  EXPECT_EQ(GenerateInvariants(t, index, concise).size(), 15u);
+}
+
+TEST(InvariantsTest, PaperQiInvariantExample) {
+  // Paper Eq. (4) example: P(q1,s1,1)+P(q1,s2,1)+P(q1,s3,1) = P(q1,1) = 2/10.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto invariants = GenerateInvariants(t, index);
+  bool found = false;
+  for (const auto& c : invariants) {
+    if (c.source != ConstraintSource::kQiInvariant) continue;
+    if (c.label != "QI q1 in b1") continue;
+    found = true;
+    EXPECT_DOUBLE_EQ(c.rhs, 0.2);
+    ASSERT_EQ(c.vars.size(), 3u);
+    std::vector<uint32_t> expected = {
+        index.VariableId(kQ1, kS1, 0).ValueOrDie(),
+        index.VariableId(kQ1, kS2, 0).ValueOrDie(),
+        index.VariableId(kQ1, kS3, 0).ValueOrDie()};
+    EXPECT_EQ(c.vars, expected);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantsTest, PaperSaInvariantExample) {
+  // Paper Eq. (5) example: P(q1,s4,2)+P(q3,s4,2)+P(q4,s4,2) = P(s4,2) = 1/10.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto invariants = GenerateInvariants(t, index);
+  bool found = false;
+  for (const auto& c : invariants) {
+    if (c.source != ConstraintSource::kSaInvariant) continue;
+    if (c.label != "SA s4 in b2") continue;
+    found = true;
+    EXPECT_DOUBLE_EQ(c.rhs, 0.1);
+    std::vector<uint32_t> sorted_vars = c.vars;
+    std::sort(sorted_vars.begin(), sorted_vars.end());
+    std::vector<uint32_t> expected = {
+        index.VariableId(kQ1, kS4, 1).ValueOrDie(),
+        index.VariableId(kQ3, kS4, 1).ValueOrDie(),
+        index.VariableId(kQ4, kS4, 1).ValueOrDie()};
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(sorted_vars, expected);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantsTest, SoundnessUnderGroundTruth) {
+  // Theorem 1: the ground-truth assignment satisfies every invariant.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto invariants = GenerateInvariants(t, index);
+  auto p = Assignment::FromRecords(t).TermProbabilities(index);
+  EXPECT_LT(MaxInvariantViolation(invariants, p), 1e-12);
+}
+
+TEST(InvariantsTest, SoundnessUnderManyRandomAssignments) {
+  // Theorem 1, property form: invariants hold under *every* assignment.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto invariants = GenerateInvariants(t, index);
+  Prng prng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto p = Assignment::Random(t, prng).TermProbabilities(index);
+    EXPECT_LT(MaxInvariantViolation(invariants, p), 1e-12);
+  }
+}
+
+TEST(InvariantsTest, ConcisenessRankIsGPlusHMinus1) {
+  // Theorem 3: per bucket, rank of the invariant matrix is g + h - 1.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  for (uint32_t b = 0; b < t.num_buckets(); ++b) {
+    const size_t g = index.BucketQiList(b).size();
+    const size_t h = index.BucketSaList(b).size();
+    EXPECT_EQ(BucketInvariantRank(t, index, b), g + h - 1) << "bucket " << b;
+  }
+}
+
+TEST(InvariantsTest, CompletenessForInvariantExpressions) {
+  // Theorem 2 ("if" direction): linear combinations of base invariants
+  // are invariants and lie in the row space.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  Prng prng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (uint32_t b = 0; b < t.num_buckets(); ++b) {
+      auto m = BucketInvariantMatrix(t, index, b);
+      // Random combination of the bucket's invariant rows.
+      std::vector<double> combo(m.cols(), 0.0);
+      for (size_t r = 0; r < m.rows(); ++r) {
+        const double w = prng.NextDouble(-2.0, 2.0);
+        for (size_t c = 0; c < m.cols(); ++c) combo[c] += w * m.At(r, c);
+      }
+      EXPECT_TRUE(InRowSpaceOfInvariants(t, index, b, combo));
+    }
+  }
+}
+
+TEST(InvariantsTest, CompletenessRejectsNonInvariants) {
+  // Theorem 2 ("only if" direction): a single probability term is NOT an
+  // invariant (the paper's example: P(q1,s1,1) varies across assignments)
+  // and must not lie in the row space.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  const auto [first, last] = index.BucketRange(0);
+  for (uint32_t var = first; var < last; ++var) {
+    std::vector<double> e(last - first, 0.0);
+    e[var - first] = 1.0;
+    EXPECT_FALSE(InRowSpaceOfInvariants(t, index, 0, e))
+        << index.TermName(var, t);
+  }
+}
+
+TEST(InvariantsTest, NonInvariantValueVariesAcrossAssignments) {
+  // Direct check of the Definition 5.4 example: P(q1,s1,1) takes different
+  // values under different assignments.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  const uint32_t var = index.VariableId(kQ1, kS1, 0).ValueOrDie();
+  Prng prng(3);
+  double lo = 1e9, hi = -1e9;
+  for (int trial = 0; trial < 100; ++trial) {
+    auto p = Assignment::Random(t, prng).TermProbabilities(index);
+    lo = std::min(lo, p[var]);
+    hi = std::max(hi, p[var]);
+  }
+  EXPECT_LT(lo, hi);  // not constant => not an invariant
+}
+
+// ----------------------------------------------------------- Assignment
+
+TEST(AssignmentTest, ProbabilitiesSumToOne) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  Prng prng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto p = Assignment::Random(t, prng).TermProbabilities(index);
+    double sum = 0.0;
+    for (double v : p) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(AssignmentTest, SwapSaChangesOnlyThatBucket) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto a = Assignment::FromRecords(t);
+  auto before = a.TermProbabilities(index);
+  a.SwapSa(0, 0, 2);  // swap Allen's and Cathy's diseases
+  auto after = a.TermProbabilities(index);
+  const auto [b1_first, b1_last] = index.BucketRange(0);
+  bool changed_inside = false;
+  for (uint32_t v = 0; v < index.num_variables(); ++v) {
+    if (v >= b1_first && v < b1_last) {
+      changed_inside |= std::fabs(before[v] - after[v]) > 1e-12;
+    } else {
+      EXPECT_NEAR(before[v], after[v], 1e-15);
+    }
+  }
+  EXPECT_TRUE(changed_inside);
+}
+
+// ---------------------------------------------------------- BK compiler
+
+TEST(BkCompilerTest, PaperFluMaleExample) {
+  // Section 4.1: P(Flu | male) = 0.3 compiles to a constraint with RHS
+  // 0.3 * P(male) = 0.18 whose materialized terms are P(q1,s2,b1),
+  // P(q3,s2,b1) and P(q6,s2,b3). (The paper also writes the term
+  // P({male,college}, Flu, 3); that term is a Zero-invariant — q1 does
+  // not occur in bucket 3 — so dropping it leaves an equivalent
+  // constraint.)
+  auto dataset = pme::testing::MakeFigure1Dataset();
+  auto bz = anonymize::BucketizeDataset(dataset,
+                                        pme::testing::Figure1Partition())
+                .ValueOrDie();
+  auto index = TermIndex::Build(bz.table);
+
+  const size_t gender = dataset.schema().IndexOf("gender").ValueOrDie();
+  const uint32_t male =
+      dataset.schema().attribute(gender).dictionary.Lookup("male").ValueOrDie();
+
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::MakeConditional({gender}, {male}, kS2, 0.3));
+
+  auto compiled =
+      CompileKnowledge(kb, bz.table, index, &bz.qi_encoder).ValueOrDie();
+  ASSERT_EQ(compiled.constraints.size(), 1u);
+  const auto& c = compiled.constraints[0];
+  EXPECT_NEAR(c.rhs, 0.18, 1e-12);
+  std::vector<uint32_t> sorted_vars = c.vars;
+  std::sort(sorted_vars.begin(), sorted_vars.end());
+  std::vector<uint32_t> expected = {index.VariableId(kQ1, kS2, 0).ValueOrDie(),
+                                    index.VariableId(kQ3, kS2, 0).ValueOrDie(),
+                                    index.VariableId(kQ6, kS2, 2).ValueOrDie()};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted_vars, expected);
+  EXPECT_EQ(c.source, ConstraintSource::kBackground);
+}
+
+TEST(BkCompilerTest, MatchQiInstancesForMale) {
+  auto dataset = pme::testing::MakeFigure1Dataset();
+  auto bz = anonymize::BucketizeDataset(dataset,
+                                        pme::testing::Figure1Partition())
+                .ValueOrDie();
+  const size_t gender = dataset.schema().IndexOf("gender").ValueOrDie();
+  const uint32_t male =
+      dataset.schema().attribute(gender).dictionary.Lookup("male").ValueOrDie();
+  knowledge::ConditionalStatement stmt;
+  stmt.attrs = {gender};
+  stmt.values = {male};
+  auto matches = MatchQiInstances(stmt, bz.qi_encoder).ValueOrDie();
+  std::sort(matches.begin(), matches.end());
+  EXPECT_EQ(matches, (std::vector<uint32_t>{kQ1, kQ3, kQ6}));
+}
+
+TEST(BkCompilerTest, AbstractSection55Example) {
+  // Section 5.5: P(s3 | q3) = 0.5 with P(q3) = 2/10 gives
+  // P(q3,s3,1) + P(q3,s3,2) = 0.1.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::AbstractConditional(kQ3, {kS3}, 0.5));
+  auto compiled = CompileKnowledge(kb, t, index).ValueOrDie();
+  ASSERT_EQ(compiled.constraints.size(), 1u);
+  const auto& c = compiled.constraints[0];
+  EXPECT_NEAR(c.rhs, 0.1, 1e-12);
+  std::vector<uint32_t> sorted_vars = c.vars;
+  std::sort(sorted_vars.begin(), sorted_vars.end());
+  std::vector<uint32_t> expected = {index.VariableId(kQ3, kS3, 0).ValueOrDie(),
+                                    index.VariableId(kQ3, kS3, 1).ValueOrDie()};
+  EXPECT_EQ(sorted_vars, expected);
+}
+
+TEST(BkCompilerTest, SaSetStatement) {
+  // Section 3.1: P(s1 or s2 | q3) = 0 — an S-set statement with zero RHS.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::AbstractConditional(kQ3, {kS1, kS2}, 0.0));
+  auto compiled = CompileKnowledge(kb, t, index).ValueOrDie();
+  ASSERT_EQ(compiled.constraints.size(), 1u);
+  EXPECT_DOUBLE_EQ(compiled.constraints[0].rhs, 0.0);
+  // q3 occurs in buckets 1 and 2; s1 in both, s2 only in bucket 1.
+  EXPECT_EQ(compiled.constraints[0].vars.size(), 3u);
+}
+
+TEST(BkCompilerTest, InfeasibleStatementDetected) {
+  // s5 never shares a bucket with q1 — asserting P(s5 | q1) > 0
+  // contradicts the published table.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::AbstractConditional(kQ1, {kS5}, 0.5));
+  auto result = CompileKnowledge(kb, t, index);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(BkCompilerTest, ZeroOverImpossibleIsVacuouslySatisfied) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::AbstractConditional(kQ1, {kS5}, 0.0));
+  auto compiled = CompileKnowledge(kb, t, index).ValueOrDie();
+  EXPECT_TRUE(compiled.constraints.empty());
+}
+
+TEST(BkCompilerTest, InequalityStatementsKeepRelation) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::AbstractConditional(kQ3, {kS3}, 0.6,
+                                        knowledge::Relation::kLe));
+  kb.Add(knowledge::AbstractConditional(kQ3, {kS3}, 0.4,
+                                        knowledge::Relation::kGe));
+  auto compiled = CompileKnowledge(kb, t, index).ValueOrDie();
+  ASSERT_EQ(compiled.constraints.size(), 2u);
+  EXPECT_EQ(compiled.constraints[0].rel, Relation::kLe);
+  EXPECT_EQ(compiled.constraints[1].rel, Relation::kGe);
+}
+
+TEST(BkCompilerTest, DatasetModeWithoutEncoderFails) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::MakeConditional({0}, {0}, kS2, 0.3));
+  EXPECT_FALSE(CompileKnowledge(kb, t, index).ok());
+}
+
+TEST(BkCompilerTest, RejectsOutOfRangeProbability) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::AbstractConditional(kQ3, {kS3}, 1.5));
+  EXPECT_FALSE(CompileKnowledge(kb, t, index).ok());
+}
+
+// -------------------------------------------------------------- System
+
+TEST(ConstraintSystemTest, MatricesSplitByRelation) {
+  ConstraintSystem system(4);
+  LinearConstraint eq;
+  eq.vars = {0, 1};
+  eq.coefs = {1.0, 1.0};
+  eq.rhs = 0.5;
+  system.Add(eq);
+  LinearConstraint le;
+  le.vars = {2};
+  le.coefs = {1.0};
+  le.rel = Relation::kLe;
+  le.rhs = 0.3;
+  system.Add(le);
+  LinearConstraint ge;
+  ge.vars = {3};
+  ge.coefs = {1.0};
+  ge.rel = Relation::kGe;
+  ge.rhs = 0.1;
+  system.Add(ge);
+
+  auto m = system.ToMatrices().ValueOrDie();
+  EXPECT_EQ(m.eq.rows(), 1u);
+  EXPECT_EQ(m.ineq.rows(), 2u);
+  // kGe was negated into kLe form.
+  EXPECT_DOUBLE_EQ(m.ineq.At(1, 3), -1.0);
+  EXPECT_DOUBLE_EQ(m.ineq_rhs[1], -0.1);
+}
+
+TEST(ConstraintSystemTest, ViolationMeasures) {
+  ConstraintSystem system(2);
+  LinearConstraint c;
+  c.vars = {0, 1};
+  c.coefs = {1.0, 1.0};
+  c.rhs = 1.0;
+  system.Add(c);
+  EXPECT_NEAR(system.MaxViolation({0.5, 0.5}), 0.0, 1e-15);
+  EXPECT_NEAR(system.MaxViolation({0.5, 0.2}), 0.3, 1e-12);
+}
+
+TEST(ConstraintSystemTest, IrrelevantBucketAnalysis) {
+  // Section 5.5 / Definition 5.6: with P(s3 | q3) knowledge, buckets 1
+  // and 2 are relevant (q3 lives there), bucket 3 is irrelevant.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  ConstraintSystem system(index.num_variables());
+  system.AddAll(GenerateInvariants(t, index));
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::AbstractConditional(kQ3, {kS3}, 0.5));
+  auto compiled = CompileKnowledge(kb, t, index).ValueOrDie();
+  system.AddAll(std::move(compiled.constraints));
+
+  auto relevant = system.RelevantBuckets(index);
+  ASSERT_EQ(relevant.size(), 3u);
+  EXPECT_TRUE(relevant[0]);
+  EXPECT_TRUE(relevant[1]);
+  EXPECT_FALSE(relevant[2]);
+  EXPECT_EQ(system.CountBySource(ConstraintSource::kBackground), 1u);
+  EXPECT_EQ(system.CountBySource(ConstraintSource::kQiInvariant), 9u);
+}
+
+TEST(ConstraintSystemTest, NoKnowledgeMeansAllIrrelevant) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  ConstraintSystem system(index.num_variables());
+  system.AddAll(GenerateInvariants(t, index));
+  auto relevant = system.RelevantBuckets(index);
+  for (bool r : relevant) EXPECT_FALSE(r);
+}
+
+}  // namespace
+}  // namespace pme::constraints

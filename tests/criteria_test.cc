@@ -1,0 +1,171 @@
+// Tests for the classical privacy criteria (core/criteria) and the
+// randomized-response substrate (anonymize/randomization).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anonymize/randomization.h"
+#include "core/criteria.h"
+#include "data/adult_synth.h"
+#include "data/stats.h"
+#include "tests/test_util.h"
+
+namespace pme::core {
+namespace {
+
+TEST(CriteriaTest, GlobalSaDistribution) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto dist = GlobalSaDistribution(t);
+  // Figure 1: s1 x2, s2 x3, s3 x2, s4 x2, s5 x1 over 10 records.
+  EXPECT_NEAR(dist[0], 0.2, 1e-12);
+  EXPECT_NEAR(dist[1], 0.3, 1e-12);
+  EXPECT_NEAR(dist[4], 0.1, 1e-12);
+}
+
+TEST(CriteriaTest, TClosenessHandComputed) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto report = MeasureTCloseness(t);
+  // Bucket 2 ({s1,s3,s4}): TV to global {.2,.3,.2,.2,.1} =
+  // 0.5*(|1/3-.2|+|0-.3|+|1/3-.2|+|1/3-.2|+|0-.1|) = 0.4.
+  EXPECT_NEAR(report.max_distance, 0.4, 1e-9);
+  EXPECT_TRUE(SatisfiesTCloseness(t, 0.41));
+  EXPECT_FALSE(SatisfiesTCloseness(t, 0.39));
+}
+
+TEST(CriteriaTest, TClosenessZeroForSingleBucket) {
+  // A one-bucket table is trivially 0-close: its distribution IS global.
+  std::vector<anonymize::AbstractRecord> records = {
+      {0, 0, 0}, {1, 1, 0}, {2, 2, 0}};
+  auto t = anonymize::BucketizedTable::Create(records).ValueOrDie();
+  EXPECT_NEAR(MeasureTCloseness(t).max_distance, 0.0, 1e-12);
+}
+
+TEST(CriteriaTest, RecursiveDiversity) {
+  auto t = pme::testing::MakeFigure1Table();
+  // Bucket 1 counts sorted: {2,1,1}; ell=2: c_min = 2/(1+1) = 1.
+  // Buckets 2,3: {1,1,1}; c_min = 1/(1+1) = 0.5.
+  auto report = MeasureRecursiveDiversity(t, 2);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_NEAR(report.min_c, 1.0, 1e-12);
+  EXPECT_EQ(report.worst_bucket, 0u);
+  EXPECT_TRUE(SatisfiesRecursiveDiversity(t, 1.01, 2));
+  EXPECT_FALSE(SatisfiesRecursiveDiversity(t, 0.99, 2));
+}
+
+TEST(CriteriaTest, RecursiveDiversityInfeasibleWhenTooFewValues) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto report = MeasureRecursiveDiversity(t, 4);  // buckets have 3 distinct
+  EXPECT_FALSE(report.feasible);
+  EXPECT_FALSE(SatisfiesRecursiveDiversity(t, 100.0, 4));
+}
+
+}  // namespace
+}  // namespace pme::core
+
+namespace pme::anonymize {
+namespace {
+
+TEST(RandomizationTest, RetentionOneIsIdentity) {
+  auto d = pme::testing::MakeFigure1Dataset();
+  RandomizedResponseOptions options;
+  options.retention = 1.0;
+  auto release = RandomizeResponse(d, options).ValueOrDie();
+  const size_t sa = d.schema().SoleSensitiveIndex().ValueOrDie();
+  for (size_t r = 0; r < d.num_records(); ++r) {
+    EXPECT_EQ(release.dataset.At(r, sa), d.At(r, sa));
+  }
+}
+
+TEST(RandomizationTest, QiColumnsUntouched) {
+  auto d = pme::testing::MakeFigure1Dataset();
+  auto release = RandomizeResponse(d).ValueOrDie();
+  for (size_t r = 0; r < d.num_records(); ++r) {
+    EXPECT_EQ(release.dataset.At(r, 0), d.At(r, 0));
+    EXPECT_EQ(release.dataset.At(r, 1), d.At(r, 1));
+  }
+}
+
+TEST(RandomizationTest, ReconstructionRecoversMarginalAtScale) {
+  data::AdultSynthOptions synth;
+  synth.num_records = 20000;
+  auto d = data::GenerateAdultLike(synth).ValueOrDie();
+  const size_t sa = d.schema().SoleSensitiveIndex().ValueOrDie();
+  data::DatasetStats stats(&d);
+  const auto truth = stats.Marginal(sa);
+
+  RandomizedResponseOptions options;
+  options.retention = 0.6;
+  auto release = RandomizeResponse(d, options).ValueOrDie();
+  auto reconstructed = ReconstructSaDistribution(release).ValueOrDie();
+  ASSERT_EQ(reconstructed.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(reconstructed[i], truth[i], 0.02) << "value " << i;
+  }
+  // The *observed* marginal is flattened toward uniform, i.e. further
+  // from the truth than the reconstruction.
+  data::DatasetStats obs_stats(&release.dataset);
+  const auto observed = obs_stats.Marginal(sa);
+  double err_obs = 0.0, err_rec = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    err_obs += std::fabs(observed[i] - truth[i]);
+    err_rec += std::fabs(reconstructed[i] - truth[i]);
+  }
+  EXPECT_LT(err_rec, err_obs);
+}
+
+TEST(RandomizationTest, RecordPosteriorProperties) {
+  auto d = pme::testing::MakeFigure1Dataset();
+  RandomizedResponseOptions options;
+  options.retention = 0.7;
+  auto release = RandomizeResponse(d, options).ValueOrDie();
+  std::vector<double> prior(release.domain, 1.0 / release.domain);
+  auto posterior = RecordPosterior(release, 2, prior).ValueOrDie();
+  double sum = 0.0;
+  for (double p : posterior) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Observing value 2 makes value 2 the most likely truth.
+  for (uint32_t t = 0; t < release.domain; ++t) {
+    if (t != 2) EXPECT_GT(posterior[2], posterior[t]);
+  }
+  // With retention 0.7 and uniform prior over 5 values:
+  // P(true=obs|obs) = (0.7 + 0.06) / (0.7 + 5*0.06) = 0.76.
+  EXPECT_NEAR(posterior[2], 0.76, 1e-9);
+}
+
+TEST(RandomizationTest, LowerRetentionMeansMorePrivacy) {
+  auto d = pme::testing::MakeFigure1Dataset();
+  std::vector<double> prior(5, 0.2);
+  RandomizedResponseOptions strong, weak;
+  strong.retention = 0.3;
+  weak.retention = 0.9;
+  auto strong_release = RandomizeResponse(d, strong).ValueOrDie();
+  auto weak_release = RandomizeResponse(d, weak).ValueOrDie();
+  const double p_strong =
+      RecordPosterior(strong_release, 0, prior).ValueOrDie()[0];
+  const double p_weak =
+      RecordPosterior(weak_release, 0, prior).ValueOrDie()[0];
+  EXPECT_LT(p_strong, p_weak);
+}
+
+TEST(RandomizationTest, RejectsBadOptions) {
+  auto d = pme::testing::MakeFigure1Dataset();
+  RandomizedResponseOptions options;
+  options.retention = 0.0;
+  EXPECT_FALSE(RandomizeResponse(d, options).ok());
+  options.retention = 1.5;
+  EXPECT_FALSE(RandomizeResponse(d, options).ok());
+}
+
+TEST(RandomizationTest, DeterministicForSeed) {
+  auto d = pme::testing::MakeFigure1Dataset();
+  auto a = RandomizeResponse(d).ValueOrDie();
+  auto b = RandomizeResponse(d).ValueOrDie();
+  const size_t sa = d.schema().SoleSensitiveIndex().ValueOrDie();
+  for (size_t r = 0; r < d.num_records(); ++r) {
+    EXPECT_EQ(a.dataset.At(r, sa), b.dataset.At(r, sa));
+  }
+}
+
+}  // namespace
+}  // namespace pme::anonymize

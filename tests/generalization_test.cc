@@ -1,0 +1,129 @@
+// Tests for the generalization substrate (anonymize/generalization):
+// hierarchies, k-anonymity search, and the bridge to Privacy-MaxEnt —
+// the paper's first future-work direction.
+
+#include <gtest/gtest.h>
+
+#include "anonymize/generalization.h"
+#include "core/privacy_maxent.h"
+#include "data/adult_synth.h"
+#include "tests/test_util.h"
+
+namespace pme::anonymize {
+namespace {
+
+TEST(ValueHierarchyTest, FlatHasIdentityAndSuppression) {
+  auto h = ValueHierarchy::Flat(4);
+  EXPECT_EQ(h.num_levels(), 2u);
+  EXPECT_EQ(h.NumGroups(0), 4u);
+  EXPECT_EQ(h.NumGroups(1), 1u);
+  for (uint32_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(h.GroupOf(0, v), v);
+    EXPECT_EQ(h.GroupOf(1, v), 0u);
+  }
+  EXPECT_EQ(h.LabelOf(1, 0), "*");
+}
+
+TEST(ValueHierarchyTest, IntermediateLevelsValidated) {
+  // 4 values -> 2 groups -> *.
+  auto h = ValueHierarchy::Create(4, {{0, 0, 1, 1}}, {{"low", "high"}})
+               .ValueOrDie();
+  EXPECT_EQ(h.num_levels(), 3u);
+  EXPECT_EQ(h.NumGroups(1), 2u);
+  EXPECT_EQ(h.GroupOf(1, 0), 0u);
+  EXPECT_EQ(h.GroupOf(1, 3), 1u);
+  EXPECT_EQ(h.LabelOf(1, 1), "high");
+
+  // Wrong arity.
+  EXPECT_FALSE(ValueHierarchy::Create(4, {{0, 0, 1}}, {{"a", "b"}}).ok());
+  // Labels don't match groups.
+  EXPECT_FALSE(ValueHierarchy::Create(4, {{0, 0, 1, 1}}, {{"only"}}).ok());
+}
+
+TEST(ValueHierarchyTest, NonCoarseningRejected) {
+  // Level 1 merges {0,1}; level 2 must not split them apart again.
+  auto r = ValueHierarchy::Create(
+      4, {{0, 0, 1, 1}, {0, 1, 1, 1}},
+      {{"a", "b"}, {"x", "y"}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GeneralizerTest, SearchReachesKAnonymity) {
+  data::AdultSynthOptions options;
+  options.num_records = 800;
+  auto dataset = data::GenerateAdultLike(options).ValueOrDie();
+  auto generalizer = Generalizer::CreateFlat(&dataset).ValueOrDie();
+
+  for (size_t k : {2, 5, 20}) {
+    auto levels = generalizer.SearchKAnonymous(k).ValueOrDie();
+    EXPECT_GE(generalizer.MinClassSize(levels), k)
+        << "k=" << k << " levels=" << levels.ToString();
+  }
+}
+
+TEST(GeneralizerTest, RawDataUsuallyViolatesKAnonymity) {
+  data::AdultSynthOptions options;
+  options.num_records = 800;
+  auto dataset = data::GenerateAdultLike(options).ValueOrDie();
+  auto generalizer = Generalizer::CreateFlat(&dataset).ValueOrDie();
+  GeneralizationLevels raw;
+  raw.level.assign(8, 0);
+  // 8 QI attributes over 800 records: essentially all tuples unique.
+  EXPECT_LT(generalizer.MinClassSize(raw), 2u);
+}
+
+TEST(GeneralizerTest, KLargerThanNFails) {
+  auto dataset = pme::testing::MakeFigure1Dataset();
+  auto generalizer = Generalizer::CreateFlat(&dataset).ValueOrDie();
+  EXPECT_FALSE(generalizer.SearchKAnonymous(11).ok());
+  EXPECT_FALSE(generalizer.SearchKAnonymous(0).ok());
+}
+
+TEST(GeneralizerTest, FullSuppressionIsOneClass) {
+  auto dataset = pme::testing::MakeFigure1Dataset();
+  auto generalizer = Generalizer::CreateFlat(&dataset).ValueOrDie();
+  GeneralizationLevels top;
+  top.level.assign(generalizer.qi_attrs().size(), 1);  // Flat: level 1 = '*'
+  auto classes = generalizer.Classes(top);
+  for (uint32_t c : classes) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(generalizer.MinClassSize(top), dataset.num_records());
+}
+
+TEST(GeneralizerTest, BridgeToMaxEntAnalysis) {
+  // Future-work bridge: generalize to k-anonymity, view the equivalence
+  // classes as buckets, and run the standard Privacy-MaxEnt analysis.
+  data::AdultSynthOptions options;
+  options.num_records = 600;
+  auto dataset = data::GenerateAdultLike(options).ValueOrDie();
+  auto generalizer = Generalizer::CreateFlat(&dataset).ValueOrDie();
+  auto levels = generalizer.SearchKAnonymous(5).ValueOrDie();
+  auto bz = generalizer.ToBucketizedTable(levels).ValueOrDie();
+
+  EXPECT_EQ(bz.table.num_records(), 600u);
+  EXPECT_GE(bz.table.num_buckets(), 1u);
+  for (uint32_t b = 0; b < bz.table.num_buckets(); ++b) {
+    EXPECT_GE(bz.table.BucketQis(b).size(), 5u) << "k-anonymity class size";
+  }
+
+  knowledge::KnowledgeBase empty;
+  auto analysis = core::Analyze(bz.table, empty).ValueOrDie();
+  EXPECT_LT(analysis.solver.max_violation, 1e-7);
+  EXPECT_GT(analysis.estimation_accuracy, 0.0);
+}
+
+TEST(GeneralizerTest, CoarserLevelsNeverDecreaseClassSize) {
+  data::AdultSynthOptions options;
+  options.num_records = 400;
+  auto dataset = data::GenerateAdultLike(options).ValueOrDie();
+  auto generalizer = Generalizer::CreateFlat(&dataset).ValueOrDie();
+  GeneralizationLevels fine, coarse;
+  fine.level.assign(8, 0);
+  coarse.level.assign(8, 0);
+  coarse.level[0] = 1;
+  coarse.level[3] = 1;
+  EXPECT_LE(generalizer.MinClassSize(fine),
+            generalizer.MinClassSize(coarse));
+}
+
+}  // namespace
+}  // namespace pme::anonymize

@@ -1,0 +1,234 @@
+// Tests for src/linalg: CSR sparse matrices, dense matrices, Cholesky,
+// rank / row-space utilities.
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace pme::linalg {
+namespace {
+
+TEST(SparseMatrixTest, FromTripletsSumsDuplicatesAndDropsZeros) {
+  auto m = SparseMatrix::FromTriplets(
+                2, 3, {{0, 1, 2.0}, {0, 1, 3.0}, {1, 2, 0.0}, {1, 0, -1.0}})
+               .ValueOrDie();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.nnz(), 2u);  // (0,1)=5 and (1,0)=-1; the zero was dropped
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 0.0);
+}
+
+TEST(SparseMatrixTest, OutOfBoundsTripletRejected) {
+  auto r = SparseMatrix::FromTriplets(2, 2, {{2, 0, 1.0}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  std::vector<std::vector<double>> dense = {
+      {1.0, 0.0, 2.0}, {0.0, 3.0, 0.0}, {4.0, 5.0, 6.0}, {0.0, 0.0, 0.0}};
+  SparseMatrix m = SparseMatrix::FromDense(dense);
+  std::vector<double> x = {1.0, -1.0, 2.0};
+  std::vector<double> y;
+  m.Multiply(x, y);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], -3.0);
+  EXPECT_DOUBLE_EQ(y[2], 11.0);
+  EXPECT_DOUBLE_EQ(y[3], 0.0);
+}
+
+TEST(SparseMatrixTest, TransposeMultiplyMatchesDense) {
+  std::vector<std::vector<double>> dense = {{1.0, 2.0}, {3.0, 4.0},
+                                            {5.0, 6.0}};
+  SparseMatrix m = SparseMatrix::FromDense(dense);
+  std::vector<double> x = {1.0, 0.5, -1.0};
+  std::vector<double> y;
+  m.TransposeMultiply(x, y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 + 1.5 - 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0 + 2.0 - 6.0);
+}
+
+TEST(SparseMatrixTest, TransposeMultiplyAccumulate) {
+  SparseMatrix m = SparseMatrix::FromDense({{1.0, 2.0}});
+  std::vector<double> y = {10.0, 10.0};
+  m.TransposeMultiplyAccumulate(2.0, {3.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 16.0);
+  EXPECT_DOUBLE_EQ(y[1], 22.0);
+}
+
+TEST(SparseMatrixTest, RandomizedAgreementWithDense) {
+  Prng prng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t rows = 1 + prng.NextBounded(12);
+    const size_t cols = 1 + prng.NextBounded(12);
+    std::vector<std::vector<double>> dense(rows,
+                                           std::vector<double>(cols, 0.0));
+    for (auto& row : dense) {
+      for (auto& v : row) {
+        if (prng.NextDouble() < 0.4) v = prng.NextDouble(-2.0, 2.0);
+      }
+    }
+    SparseMatrix m = SparseMatrix::FromDense(dense);
+    std::vector<double> x(cols);
+    for (auto& v : x) v = prng.NextDouble(-1.0, 1.0);
+    std::vector<double> y;
+    m.Multiply(x, y);
+    for (size_t r = 0; r < rows; ++r) {
+      double expect = 0.0;
+      for (size_t c = 0; c < cols; ++c) expect += dense[r][c] * x[c];
+      EXPECT_NEAR(y[r], expect, 1e-12);
+    }
+  }
+}
+
+TEST(SparseMatrixTest, SubmatrixSelectsAndReorders) {
+  SparseMatrix m = SparseMatrix::FromDense(
+      {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}});
+  auto sub = m.Submatrix({2, 0}, {1, 2}).ValueOrDie();
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.cols(), 2u);
+  EXPECT_DOUBLE_EQ(sub.At(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(sub.At(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(sub.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sub.At(1, 1), 3.0);
+}
+
+TEST(SparseMatrixBuilderTest, BuildsRowsIncrementally) {
+  SparseMatrixBuilder builder(4);
+  builder.BeginRow();
+  ASSERT_TRUE(builder.Add(0, 1.0).ok());
+  ASSERT_TRUE(builder.Add(3, 2.0).ok());
+  ASSERT_TRUE(builder.AddRow({1, 2}, {5.0, 6.0}).ok());
+  auto m = builder.Build().ValueOrDie();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 5.0);
+}
+
+TEST(SparseMatrixBuilderTest, AddBeforeBeginRowFails) {
+  SparseMatrixBuilder builder(2);
+  EXPECT_EQ(builder.Add(0, 1.0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SparseMatrixBuilderTest, ColumnOutOfRangeFails) {
+  SparseMatrixBuilder builder(2);
+  builder.BeginRow();
+  EXPECT_EQ(builder.Add(2, 1.0).code(), StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------- DenseMatrix
+
+TEST(DenseMatrixTest, MultiplyAndTranspose) {
+  DenseMatrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 2) = 2;
+  m.At(1, 1) = 3;
+  auto y = m.Multiply({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  DenseMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 2.0);
+}
+
+TEST(DenseMatrixTest, RankOfIdentityAndSingular) {
+  DenseMatrix id(3, 3);
+  for (size_t i = 0; i < 3; ++i) id.At(i, i) = 1.0;
+  EXPECT_EQ(id.Rank(), 3u);
+
+  DenseMatrix sing(3, 3);
+  // Row 2 = row 0 + row 1.
+  sing.At(0, 0) = 1;
+  sing.At(0, 1) = 2;
+  sing.At(1, 1) = 1;
+  sing.At(1, 2) = 1;
+  sing.At(2, 0) = 1;
+  sing.At(2, 1) = 3;
+  sing.At(2, 2) = 1;
+  EXPECT_EQ(sing.Rank(), 2u);
+}
+
+TEST(DenseMatrixTest, RowSpaceContains) {
+  DenseMatrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 1;
+  m.At(1, 1) = 1;
+  m.At(1, 2) = 1;
+  EXPECT_TRUE(m.RowSpaceContains({1.0, 2.0, 1.0}));   // row0 + row1
+  EXPECT_TRUE(m.RowSpaceContains({1.0, 0.0, -1.0}));  // row0 - row1
+  EXPECT_FALSE(m.RowSpaceContains({1.0, 0.0, 0.0}));
+}
+
+TEST(DenseMatrixTest, AppendRowGrows) {
+  DenseMatrix m(0, 0);
+  m.AppendRow({1.0, 2.0});
+  m.AppendRow({3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0].
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 4;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 3;
+  auto x = CholeskySolve(a, {2.0, 1.0}).ValueOrDie();
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+  EXPECT_NEAR(x[1], 0.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(1, 1) = -1;
+  auto r = CholeskySolve(a, {1.0, 1.0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, JitterRescuesSemidefinite) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 1;  // rank 1
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 1.0}).ok());
+  EXPECT_TRUE(CholeskySolve(a, {1.0, 1.0}, 1e-8).ok());
+}
+
+TEST(CholeskyTest, RandomizedResidualSmall) {
+  Prng prng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 2 + prng.NextBounded(8);
+    // A = B Bᵀ + I is SPD.
+    DenseMatrix b(n, n), a(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) b.At(i, j) = prng.NextDouble(-1, 1);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double acc = i == j ? 1.0 : 0.0;
+        for (size_t k = 0; k < n; ++k) acc += b.At(i, k) * b.At(j, k);
+        a.At(i, j) = acc;
+      }
+    }
+    std::vector<double> rhs(n);
+    for (auto& v : rhs) v = prng.NextDouble(-1, 1);
+    auto x = CholeskySolve(a, rhs).ValueOrDie();
+    auto ax = a.Multiply(x);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], rhs[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pme::linalg

@@ -1,0 +1,167 @@
+// Tests for the knowledge-statement parser (the text front door for the
+// paper's "any linear knowledge" language).
+
+#include <gtest/gtest.h>
+
+#include "knowledge/parser.h"
+#include "tests/test_util.h"
+
+namespace pme::knowledge {
+namespace {
+
+using pme::testing::kQ3;
+using pme::testing::kS1;
+using pme::testing::kS2;
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : dataset_(pme::testing::MakeFigure1Dataset()) {
+    context_.dataset = &dataset_;
+  }
+  data::Dataset dataset_;
+  ParserContext context_;
+};
+
+TEST_F(ParserTest, PaperBreastCancerStatement) {
+  auto parsed =
+      ParseStatement("P(breast-cancer | gender=male) = 0", context_)
+          .ValueOrDie();
+  ASSERT_TRUE(parsed.conditional.has_value());
+  const auto& stmt = *parsed.conditional;
+  EXPECT_FALSE(stmt.abstract_qi.has_value());
+  ASSERT_EQ(stmt.attrs.size(), 1u);
+  EXPECT_EQ(dataset_.schema().attribute(stmt.attrs[0]).name, "gender");
+  EXPECT_EQ(stmt.sa_codes, std::vector<uint32_t>{kS1});
+  EXPECT_EQ(stmt.rel, Relation::kEq);
+  EXPECT_DOUBLE_EQ(stmt.probability, 0.0);
+}
+
+TEST_F(ParserTest, MultiAttributeCondition) {
+  auto parsed =
+      ParseStatement("P(flu | gender=male, degree=college) = 0.5", context_)
+          .ValueOrDie();
+  ASSERT_TRUE(parsed.conditional.has_value());
+  EXPECT_EQ(parsed.conditional->attrs.size(), 2u);
+  EXPECT_EQ(parsed.conditional->values.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.conditional->probability, 0.5);
+}
+
+TEST_F(ParserTest, AbstractFormNeedsNoDataset) {
+  auto parsed = ParseStatement("P(s1 or s2 | q3) = 0").ValueOrDie();
+  ASSERT_TRUE(parsed.conditional.has_value());
+  EXPECT_EQ(parsed.conditional->abstract_qi.value(), kQ3);
+  EXPECT_EQ(parsed.conditional->sa_codes,
+            (std::vector<uint32_t>{kS1, kS2}));
+}
+
+TEST_F(ParserTest, InequalityRelations) {
+  auto le = ParseStatement("P(s1 | q1) <= 0.35").ValueOrDie();
+  EXPECT_EQ(le.conditional->rel, Relation::kLe);
+  EXPECT_DOUBLE_EQ(le.conditional->probability, 0.35);
+  auto ge = ParseStatement("P(s1 | q1) >= 0.25").ValueOrDie();
+  EXPECT_EQ(ge.conditional->rel, Relation::kGe);
+}
+
+TEST_F(ParserTest, NamedSaSetWithOr) {
+  auto parsed =
+      ParseStatement("P(flu or pneumonia | gender=male) = 0.6", context_)
+          .ValueOrDie();
+  EXPECT_EQ(parsed.conditional->sa_codes.size(), 2u);
+}
+
+TEST_F(ParserTest, PersonStatement) {
+  auto parsed =
+      ParseStatement("P(breast-cancer | person i1) = 0.2", context_)
+          .ValueOrDie();
+  ASSERT_TRUE(parsed.individual.has_value());
+  EXPECT_EQ(parsed.individual->kind, IndividualKind::kPersonSaSet);
+  ASSERT_EQ(parsed.individual->terms.size(), 1u);
+  EXPECT_EQ(parsed.individual->terms[0].first, 0u);  // i1 -> 0
+  EXPECT_EQ(parsed.individual->terms[0].second, kS1);
+  EXPECT_DOUBLE_EQ(parsed.individual->probability, 0.2);
+}
+
+TEST_F(ParserTest, PersonEitherOr) {
+  auto parsed =
+      ParseStatement("P(breast-cancer or hiv | person i1) = 1", context_)
+          .ValueOrDie();
+  ASSERT_TRUE(parsed.individual.has_value());
+  EXPECT_EQ(parsed.individual->terms.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.individual->probability, 1.0);
+}
+
+TEST_F(ParserTest, GroupCountStatement) {
+  auto parsed =
+      ParseStatement("count(i1:hiv, i4:hiv, i9:hiv) = 2", context_)
+          .ValueOrDie();
+  ASSERT_TRUE(parsed.individual.has_value());
+  EXPECT_EQ(parsed.individual->kind, IndividualKind::kGroupCount);
+  EXPECT_EQ(parsed.individual->terms.size(), 3u);
+  EXPECT_EQ(parsed.individual->terms[1].first, 3u);  // i4 -> 3
+  EXPECT_DOUBLE_EQ(parsed.individual->probability, 2.0);
+}
+
+TEST_F(ParserTest, GroupCountWithInequality) {
+  auto parsed = ParseStatement("count(i1:s4, i4:s4) >= 1").ValueOrDie();
+  EXPECT_EQ(parsed.individual->rel, Relation::kGe);
+}
+
+TEST_F(ParserTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseStatement("").ok());
+  EXPECT_FALSE(ParseStatement("hello world").ok());
+  EXPECT_FALSE(ParseStatement("P(s1 | q1)").ok());             // no relation
+  EXPECT_FALSE(ParseStatement("P(s1 | q1) = 1.5").ok());       // p > 1
+  EXPECT_FALSE(ParseStatement("P(s1 | q1) = -0.5").ok());      // p < 0
+  EXPECT_FALSE(ParseStatement("P(s1 | q0) = 0.5").ok());       // index < 1
+  EXPECT_FALSE(ParseStatement("P(s1 | q1) = 0.5 extra").ok()); // trailing
+  EXPECT_FALSE(ParseStatement("count(i1:s1) = 2").ok());       // count > n
+  EXPECT_FALSE(ParseStatement("P(s1 | q1) == 0.5").ok());
+}
+
+TEST_F(ParserTest, NamedValuesNeedDataset) {
+  EXPECT_FALSE(ParseStatement("P(flu | q1) = 0.5").ok());
+  EXPECT_FALSE(ParseStatement("P(s1 | gender=male) = 0.5").ok());
+}
+
+TEST_F(ParserTest, RejectsUnknownNames) {
+  EXPECT_FALSE(ParseStatement("P(noSuchDisease | q1) = 0.5", context_).ok());
+  EXPECT_FALSE(
+      ParseStatement("P(flu | nosuchattr=male) = 0.5", context_).ok());
+  EXPECT_FALSE(
+      ParseStatement("P(flu | gender=purple) = 0.5", context_).ok());
+  // Conditioning on the sensitive attribute itself is not a QI condition.
+  EXPECT_FALSE(
+      ParseStatement("P(flu | disease=hiv) = 0.5", context_).ok());
+}
+
+TEST_F(ParserTest, ParseKnowledgeDocument) {
+  const char* text = R"(
+    # The adversary's assumed knowledge
+    P(breast-cancer | gender=male) = 0     # common medical knowledge
+    P(flu | gender=male) = 0.3
+
+    P(s1 or s2 | q3) = 0
+    count(i1:hiv, i4:hiv, i9:hiv) = 2
+  )";
+  KnowledgeBase kb;
+  ASSERT_TRUE(ParseKnowledge(text, context_, &kb).ok());
+  EXPECT_EQ(kb.conditionals().size(), 3u);
+  EXPECT_EQ(kb.individuals().size(), 1u);
+}
+
+TEST_F(ParserTest, ParseKnowledgeReportsLineNumbers) {
+  KnowledgeBase kb;
+  auto status = ParseKnowledge("P(s1 | q1) = 0.5\nbroken line\n", {}, &kb);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST_F(ParserTest, WhitespaceInsensitive) {
+  auto a = ParseStatement("P(s1|q1)=0.5").ValueOrDie();
+  auto b = ParseStatement("  P( s1 | q1 )  =  0.5  ").ValueOrDie();
+  EXPECT_EQ(a.conditional->probability, b.conditional->probability);
+  EXPECT_EQ(a.conditional->abstract_qi, b.conditional->abstract_qi);
+}
+
+}  // namespace
+}  // namespace pme::knowledge

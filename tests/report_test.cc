@@ -1,0 +1,85 @@
+// Tests for the privacy report renderer (core/report).
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "knowledge/knowledge_base.h"
+#include "tests/test_util.h"
+
+namespace pme::core {
+namespace {
+
+using pme::testing::kQ2;
+using pme::testing::kS1;
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest() : table_(pme::testing::MakeFigure1Table()) {}
+  anonymize::BucketizedTable table_;
+};
+
+TEST_F(ReportTest, ContainsAllSections) {
+  knowledge::KnowledgeBase empty;
+  auto analysis = Analyze(table_, empty).ValueOrDie();
+  const std::string report = RenderPrivacyReport(table_, analysis);
+  for (const char* section :
+       {"[published table]", "[assumed adversary knowledge — the bound]",
+        "[maxent solve]", "[privacy under this bound]",
+        "[highest-risk individuals]"}) {
+    EXPECT_NE(report.find(section), std::string::npos) << section;
+  }
+  EXPECT_NE(report.find("records:            10"), std::string::npos);
+  EXPECT_NE(report.find("buckets:            3"), std::string::npos);
+}
+
+TEST_F(ReportTest, KnowledgeCensusCanBeSuppressed) {
+  knowledge::KnowledgeBase empty;
+  auto analysis = Analyze(table_, empty).ValueOrDie();
+  ReportOptions options;
+  options.include_knowledge_census = false;
+  const std::string report = RenderPrivacyReport(table_, analysis, options);
+  EXPECT_EQ(report.find("[assumed adversary knowledge"), std::string::npos);
+}
+
+TEST_F(ReportTest, CertainDisclosureIsFlagged) {
+  // Breast-cancer knowledge makes q4 -> s1 certain; the report must list
+  // it first and count one near-certain link for q4 (plus any others).
+  knowledge::KnowledgeBase kb;
+  for (uint32_t male_q : {pme::testing::kQ1, pme::testing::kQ3,
+                          pme::testing::kQ6}) {
+    kb.Add(knowledge::AbstractConditional(male_q, {kS1}, 0.0));
+  }
+  auto analysis = Analyze(table_, kb).ValueOrDie();
+  ReportOptions options;
+  options.top_risks = 3;
+  const std::string report = RenderPrivacyReport(table_, analysis, options);
+  EXPECT_NE(report.find("1. q4 -> s1  (posterior 1.0000)"),
+            std::string::npos)
+      << report;
+  EXPECT_EQ(report.find("4. "), std::string::npos) << "top_risks respected";
+}
+
+TEST_F(ReportTest, TopRisksRespectsTableSize) {
+  knowledge::KnowledgeBase empty;
+  auto analysis = Analyze(table_, empty).ValueOrDie();
+  ReportOptions options;
+  options.top_risks = 100;  // more than 6 QI instances
+  const std::string report = RenderPrivacyReport(table_, analysis, options);
+  EXPECT_NE(report.find("6. "), std::string::npos);
+  EXPECT_EQ(report.find("7. "), std::string::npos);
+}
+
+TEST_F(ReportTest, PosteriorCsvShape) {
+  knowledge::KnowledgeBase empty;
+  auto analysis = Analyze(table_, empty).ValueOrDie();
+  const std::string csv = PosteriorToCsv(table_, analysis);
+  // Header + 6 QI * 5 SA rows.
+  size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 1u + 6u * 5u);
+  EXPECT_EQ(csv.rfind("qi,sa,posterior\n", 0), 0u);
+  EXPECT_NE(csv.find("q1,s2,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pme::core

@@ -1,0 +1,190 @@
+// pme — command-line front end for the Privacy-MaxEnt library.
+//
+// Subcommands:
+//   synth    generate the synthetic Adult-like benchmark CSV
+//   mine     mine the strongest association rules from a CSV
+//   analyze  bucketize a CSV, apply a knowledge file, and quantify privacy
+//
+// Examples:
+//   pme synth --records=14210 --out=adult.csv
+//   pme mine --data=adult.csv --sensitive=education --top=20
+//   pme analyze --data=adult.csv --sensitive=education --ell=5 \
+//       --knowledge=knowledge.txt --report=report.txt
+//
+// Knowledge files use the statement language of knowledge/parser.h, e.g.:
+//   P(breast-cancer | gender=male) = 0
+//   P(flu | gender=male) = 0.3
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "anonymize/anatomy.h"
+#include "anonymize/bucketized_table.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/privacy_maxent.h"
+#include "core/report.h"
+#include "data/adult_synth.h"
+#include "data/csv.h"
+#include "knowledge/miner.h"
+#include "knowledge/parser.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pme <synth|mine|analyze> [--flags]\n"
+               "  synth    --records=N --out=FILE [--seed=S]\n"
+               "  mine     --data=FILE --sensitive=ATTR [--top=N]\n"
+               "           [--minsupport=N] [--maxattrs=T]\n"
+               "  analyze  --data=FILE --sensitive=ATTR [--ell=L]\n"
+               "           [--knowledge=FILE] [--solver=lbfgs|gis|iis|"
+               "steepest|newton]\n"
+               "           [--report=FILE] [--posterior=FILE]\n");
+  return 2;
+}
+
+int Fail(const pme::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+pme::Result<pme::data::Dataset> LoadData(const pme::Flags& flags) {
+  const std::string path = flags.GetString("data", "");
+  if (path.empty()) {
+    return pme::Status::InvalidArgument("--data=FILE is required");
+  }
+  pme::data::CsvReadOptions options;
+  const std::string sensitive = flags.GetString("sensitive", "");
+  if (sensitive.empty()) {
+    return pme::Status::InvalidArgument("--sensitive=ATTR is required");
+  }
+  options.sensitive_attributes = {sensitive};
+  for (const auto& id : pme::Split(flags.GetString("id", ""), ',')) {
+    if (!id.empty()) options.identifier_attributes.emplace_back(id);
+  }
+  return pme::data::ReadCsv(path, options);
+}
+
+int RunSynth(const pme::Flags& flags) {
+  pme::data::AdultSynthOptions options;
+  options.num_records = static_cast<size_t>(flags.GetInt("records", 14210));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 20080612));
+  const std::string out = flags.GetString("out", "adult_like.csv");
+  auto dataset = pme::data::GenerateAdultLike(options);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (auto s = pme::data::WriteCsv(dataset.value(), out); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %zu records to %s\n", dataset.value().num_records(),
+              out.c_str());
+  return 0;
+}
+
+int RunMine(const pme::Flags& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+  pme::knowledge::MinerOptions options;
+  options.min_support_records =
+      static_cast<size_t>(flags.GetInt("minsupport", 3));
+  options.max_attrs = static_cast<size_t>(flags.GetInt("maxattrs", 3));
+  auto rules =
+      pme::knowledge::MineAssociationRules(dataset.value(), options);
+  if (!rules.ok()) return Fail(rules.status());
+  const size_t top = static_cast<size_t>(flags.GetInt("top", 20));
+  auto selected = pme::knowledge::TopK(rules.value(), top, top);
+  std::printf("%zu rules mined; top %zu per polarity:\n",
+              rules.value().size(), top);
+  for (const auto& r : selected) {
+    std::printf("  %s\n", r.ToString(dataset.value()).c_str());
+  }
+  return 0;
+}
+
+pme::Result<pme::maxent::SolverKind> ParseSolver(const std::string& name) {
+  using pme::maxent::SolverKind;
+  if (name == "lbfgs") return SolverKind::kLbfgs;
+  if (name == "gis") return SolverKind::kGis;
+  if (name == "iis") return SolverKind::kIis;
+  if (name == "steepest") return SolverKind::kSteepest;
+  if (name == "newton") return SolverKind::kNewton;
+  return pme::Status::InvalidArgument("unknown solver: " + name);
+}
+
+int RunAnalyze(const pme::Flags& flags) {
+  auto dataset = LoadData(flags);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  pme::anonymize::AnatomyOptions anatomy;
+  anatomy.ell = static_cast<size_t>(flags.GetInt("ell", 5));
+  auto partition = pme::anonymize::AnatomyPartition(dataset.value(), anatomy);
+  if (!partition.ok()) return Fail(partition.status());
+  auto bz = pme::anonymize::BucketizeDataset(dataset.value(),
+                                             partition.value());
+  if (!bz.ok()) return Fail(bz.status());
+
+  pme::knowledge::KnowledgeBase kb;
+  const std::string knowledge_path = flags.GetString("knowledge", "");
+  if (!knowledge_path.empty()) {
+    std::ifstream in(knowledge_path);
+    if (!in) {
+      return Fail(pme::Status::IoError("cannot open " + knowledge_path));
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    pme::knowledge::ParserContext context;
+    context.dataset = &dataset.value();
+    if (auto s = pme::knowledge::ParseKnowledge(text.str(), context, &kb);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("loaded %zu knowledge statements from %s\n", kb.size(),
+                knowledge_path.c_str());
+  }
+
+  pme::core::AnalysisOptions options;
+  auto solver = ParseSolver(flags.GetString("solver", "lbfgs"));
+  if (!solver.ok()) return Fail(solver.status());
+  options.solver = solver.value();
+
+  auto analysis = pme::core::Analyze(bz.value().table, kb, options,
+                                     &bz.value().qi_encoder);
+  if (!analysis.ok()) return Fail(analysis.status());
+
+  pme::core::ReportOptions report_options;
+  report_options.top_risks =
+      static_cast<size_t>(flags.GetInt("toprisks", 10));
+  const std::string report = pme::core::RenderPrivacyReport(
+      bz.value().table, analysis.value(), report_options);
+
+  const std::string report_path = flags.GetString("report", "");
+  if (report_path.empty()) {
+    std::fputs(report.c_str(), stdout);
+  } else {
+    std::ofstream out(report_path);
+    out << report;
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+
+  const std::string posterior_path = flags.GetString("posterior", "");
+  if (!posterior_path.empty()) {
+    std::ofstream out(posterior_path);
+    out << pme::core::PosteriorToCsv(bz.value().table, analysis.value());
+    std::printf("posterior written to %s\n", posterior_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  pme::Flags flags(argc, argv);
+  if (command == "synth") return RunSynth(flags);
+  if (command == "mine") return RunMine(flags);
+  if (command == "analyze") return RunAnalyze(flags);
+  return Usage();
+}
