@@ -7,6 +7,10 @@
 //   --records=N     dataset size (default: scaled-down; --full = 14210)
 //   --full          paper scale (14,210 records -> 2,842 buckets of 5)
 //   --csv=PATH      also write the series to a CSV file
+//   --json=PATH     also write a machine-readable result file (for the
+//                   BENCH_*.json perf trajectory tracked across PRs)
+//   --threads=N     worker threads for the block-decomposed solve
+//                   (0 = hardware concurrency)
 //   --seed=S        dataset seed
 // and prints the same series the corresponding paper figure plots.
 
@@ -16,9 +20,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/string_util.h"
 #include "core/experiment.h"
 #include "knowledge/miner.h"
 
@@ -29,7 +35,9 @@ struct BenchScale {
   size_t records = 0;
   bool full = false;
   uint64_t seed = 0;
+  size_t threads = 1;
   std::string csv_path;
+  std::string json_path;
 };
 
 inline BenchScale ResolveScale(const Flags& flags, size_t default_records) {
@@ -38,9 +46,79 @@ inline BenchScale ResolveScale(const Flags& flags, size_t default_records) {
   scale.records = static_cast<size_t>(
       flags.GetInt("records", scale.full ? 14210 : default_records));
   scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 20080612));
+  scale.threads = static_cast<size_t>(flags.GetInt("threads", 1));
   scale.csv_path = flags.GetString("csv", "");
+  scale.json_path = flags.GetString("json", "");
   return scale;
 }
+
+/// Minimal JSON emitter for bench result files: one top-level object of
+/// scalar fields plus a "series" array of flat row objects. The file is
+/// written by `Write()` (or the destructor). An empty path disables all
+/// output. No escaping is performed — keys and string values are plain
+/// identifiers by construction.
+class JsonWriter {
+ public:
+  JsonWriter(std::string path, std::string bench)
+      : path_(std::move(path)) {
+    Field("bench", bench);
+  }
+  ~JsonWriter() { Write(); }
+
+  void Field(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+  void Field(const std::string& key, double value) {
+    fields_.emplace_back(key, FormatDouble(value));
+  }
+  void Field(const std::string& key, size_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+
+  /// Starts a fresh row in the "series" array.
+  void BeginRow() { rows_.emplace_back(); }
+  void RowField(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, "\"" + value + "\"");
+  }
+  void RowField(const std::string& key, double value) {
+    rows_.back().emplace_back(key, FormatDouble(value));
+  }
+  void RowField(const std::string& key, size_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+  }
+
+  /// Writes the file (idempotent; subsequent calls are no-ops).
+  void Write() {
+    if (path_.empty() || written_) return;
+    written_ = true;
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      return;
+    }
+    std::fprintf(out, "{\n");
+    for (const auto& [key, value] : fields_) {
+      std::fprintf(out, "  \"%s\": %s,\n", key.c_str(), value.c_str());
+    }
+    std::fprintf(out, "  \"series\": [\n");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(out, "    {");
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(out, "%s\"%s\": %s", i > 0 ? ", " : "",
+                     rows_[r][i].first.c_str(), rows_[r][i].second.c_str());
+      }
+      std::fprintf(out, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
+
+ private:
+  std::string path_;
+  bool written_ = false;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 /// Builds the standard evaluation pipeline (Adult-like data, 5-diversity
 /// Anatomy buckets, mined rules over QI subsets up to `max_attrs`).

@@ -1,8 +1,20 @@
 // google-benchmark microbenches for the kernels the figure benches lean
-// on: CSR products, the dual evaluation, term indexing, invariant
-// generation, rule mining, the Anatomy partitioner and the closed form.
+// on: CSR products, the dual evaluation (legacy and fused/allocation-free),
+// term indexing, invariant generation, rule mining, the Anatomy
+// partitioner and the closed form.
+//
+// --json=PATH additionally writes {name, iterations, seconds_per_iter}
+// per benchmark for the BENCH_*.json perf trajectory; remaining flags are
+// passed through to google-benchmark.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
 
 #include "anonymize/anatomy.h"
 #include "anonymize/bucketized_table.h"
@@ -104,7 +116,30 @@ void BM_DualEvaluate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(problem.eq.nnz()));
 }
-BENCHMARK(BM_DualEvaluate)->Arg(1000)->Arg(10000);
+// The 100-record point is the block-decomposition regime: tiny duals
+// where per-call allocation is a visible fraction of the kernel.
+BENCHMARK(BM_DualEvaluate)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DualEvaluateFused(benchmark::State& state) {
+  // The solver hot path: EvaluateInto against a persistent workspace.
+  // After the first call every iteration is allocation-free, which is
+  // what separates this curve from BM_DualEvaluate's.
+  auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
+  auto index = pme::constraints::TermIndex::Build(bz.table);
+  pme::constraints::ConstraintSystem system(index.num_variables());
+  system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
+  auto problem = pme::maxent::BuildProblem(system).ValueOrDie();
+  pme::maxent::DualFunction dual(&problem.eq, &problem.eq_rhs);
+  std::vector<double> lambda(dual.dim(), 0.1), grad;
+  pme::maxent::DualWorkspace ws;
+  for (auto _ : state) {
+    double v = dual.EvaluateInto(lambda, &grad, &ws);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(problem.eq.nnz()));
+}
+BENCHMARK(BM_DualEvaluateFused)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_ClosedForm(benchmark::State& state) {
   auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
@@ -157,6 +192,70 @@ void BM_PresolveZeroHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_PresolveZeroHeavy)->Arg(100)->Arg(1000);
 
+/// Console reporter that additionally captures (name, iterations,
+/// seconds/iter) for the --json trajectory file.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    int64_t iterations;
+    double seconds_per_iter;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      row.seconds_per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+void WriteJson(const std::string& path,
+               const std::vector<CapturingReporter::Row>& rows) {
+  pme::bench::JsonWriter json(path, "micro_kernels");
+  for (const auto& row : rows) {
+    json.BeginRow();
+    json.RowField("name", row.name);
+    json.RowField("iterations", static_cast<size_t>(row.iterations));
+    json.RowField("seconds_per_iter", row.seconds_per_iter);
+  }
+  json.Write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --json=PATH before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) WriteJson(json_path, reporter.rows());
+  benchmark::Shutdown();
+  return 0;
+}

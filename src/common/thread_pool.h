@@ -1,0 +1,71 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_COMMON_THREAD_POOL_H_
+#define PME_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pme {
+
+/// A fixed-size thread pool with a single shared FIFO queue — no work
+/// stealing, no priorities. Built for the block-decomposed MaxEnt solve:
+/// a handful of coarse, independent block solves whose results are
+/// scattered into disjoint output ranges, so determinism comes from the
+/// work items themselves and the pool only supplies concurrency.
+///
+/// Tasks must not throw; exceptions escaping a task terminate the
+/// process (the library's error channel is Status, never exceptions).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 means std::thread::hardware_concurrency
+  /// (at least 1). A pool of size 1 still runs tasks on its single worker.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Resolves a `--threads` style request: 0 -> hardware concurrency,
+  /// otherwise the value itself (minimum 1).
+  static size_t ResolveThreads(size_t requested);
+
+  /// Runs fn(0..n-1) across `num_threads` threads and waits for all of
+  /// them. With num_threads <= 1 or n <= 1 the calls run inline on the
+  /// caller's thread, in index order, with no pool spun up — callers get
+  /// a zero-overhead serial path for free.
+  static void ParallelFor(size_t num_threads, size_t n,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+};
+
+}  // namespace pme
+
+#endif  // PME_COMMON_THREAD_POOL_H_

@@ -1,31 +1,50 @@
 #include "maxent/decomposed.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "maxent/closed_form.h"
 #include "maxent/problem.h"
 
 namespace pme::maxent {
 
+using constraints::ComponentAnalysis;
+
 DecompositionStats AnalyzeDecomposition(
     const constraints::TermIndex& index,
     const constraints::ConstraintSystem& system) {
   DecompositionStats stats;
-  const std::vector<bool> relevant = system.RelevantBuckets(index);
   stats.total_variables = index.num_variables();
-  for (uint32_t b = 0; b < index.num_buckets(); ++b) {
-    const auto [first, last] = index.BucketRange(b);
-    if (relevant[b]) {
-      ++stats.relevant_buckets;
-      stats.relevant_variables += last - first;
+  const ComponentAnalysis analysis = ComponentAnalysis::Build(index, system);
+  stats.num_components = analysis.num_components();
+  stats.num_coupled_components = analysis.num_coupled();
+  for (const auto& comp : analysis.components()) {
+    if (comp.coupled) {
+      stats.relevant_buckets += comp.buckets.size();
+      stats.relevant_variables += comp.num_variables;
+      stats.coupled_component_variables.push_back(comp.num_variables);
     } else {
-      ++stats.irrelevant_buckets;
+      stats.irrelevant_buckets += comp.buckets.size();
     }
   }
   return stats;
 }
+
+namespace {
+
+/// The row/column selection of one coupled component's block.
+struct BlockSelection {
+  std::vector<uint32_t> cols;       // full-space variable ids, ascending
+  std::vector<uint32_t> eq_rows;    // rows of the full eq matrix
+  std::vector<uint32_t> ineq_rows;  // rows of the full ineq matrix
+};
+
+}  // namespace
 
 Result<SolverResult> SolveDecomposed(
     const anonymize::BucketizedTable& table,
@@ -33,67 +52,119 @@ Result<SolverResult> SolveDecomposed(
     const constraints::ConstraintSystem& system, SolverKind kind,
     const SolverOptions& options) {
   Timer timer;
-  const std::vector<bool> relevant = system.RelevantBuckets(index);
-
-  // Dense renumbering of the relevant buckets' variables.
-  std::vector<int64_t> var_map(index.num_variables(), -1);
-  size_t next = 0;
-  for (uint32_t b = 0; b < index.num_buckets(); ++b) {
-    if (!relevant[b]) continue;
-    const auto [first, last] = index.BucketRange(b);
-    for (uint32_t v = first; v < last; ++v) {
-      var_map[v] = static_cast<int64_t>(next++);
-    }
-  }
+  const ComponentAnalysis analysis = ComponentAnalysis::Build(index, system);
 
   SolverResult result;
   result.kind = kind;
+  result.converged = true;
 
-  // Closed form everywhere first; the solver overwrites relevant buckets.
+  // Closed form everywhere first (exact for uncoupled components by
+  // Theorem 5); the block solves overwrite the coupled ranges.
   result.p = ClosedFormNoKnowledge(table, index);
 
-  if (next > 0) {
-    constraints::ConstraintSystem sub(next);
+  // Dense numbering of the coupled components.
+  std::vector<int64_t> block_of_component(analysis.num_components(), -1);
+  std::vector<BlockSelection> blocks;
+  blocks.reserve(analysis.num_coupled());
+  for (size_t k = 0; k < analysis.num_components(); ++k) {
+    const auto& comp = analysis.components()[k];
+    if (!comp.coupled) continue;
+    block_of_component[k] = static_cast<int64_t>(blocks.size());
+    BlockSelection block;
+    block.cols.reserve(comp.num_variables);
+    for (uint32_t b : comp.buckets) {
+      const auto [first, last] = index.BucketRange(b);
+      for (uint32_t v = first; v < last; ++v) block.cols.push_back(v);
+    }
+    blocks.push_back(std::move(block));
+  }
+
+  if (blocks.empty()) {
+    result.entropy = Entropy(result.p);
+    result.max_violation = system.MaxViolation(result.p);
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  // Assemble the full constraint matrices once, then slice each block out
+  // with Submatrix. Row numbering must mirror ToMatrices: equality rows in
+  // constraint order, inequality rows (kLe, and kGe negated) likewise.
+  PME_ASSIGN_OR_RETURN(MaxEntProblem full, BuildProblem(system));
+  {
+    uint32_t eq_row = 0, ineq_row = 0;
     for (const auto& c : system.constraints()) {
-      // A constraint belongs to the subproblem iff it touches a relevant
-      // bucket. Invariants touch exactly one bucket; background rows touch
-      // only relevant buckets by Definition 5.6.
-      bool touches_relevant = false;
-      for (uint32_t v : c.vars) {
-        if (var_map[v] >= 0) {
-          touches_relevant = true;
-          break;
+      const bool is_eq = c.rel == knowledge::Relation::kEq;
+      const uint32_t row = is_eq ? eq_row++ : ineq_row++;
+      int64_t block = -1;
+      for (size_t i = 0; i < c.vars.size(); ++i) {
+        if (c.coefs[i] == 0.0) continue;
+        // Union-find put every bucket a constraint touches into one
+        // component, so the first supported variable decides the block.
+        block = block_of_component[analysis.ComponentOf(
+            index.TermOf(c.vars[i]).bucket)];
+        break;
+      }
+      if (block < 0) {
+        // Either an empty row (check it is vacuously satisfiable) or a
+        // constraint on an uncoupled component — which is an invariant by
+        // construction, satisfied exactly by the closed form.
+        const double rhs = is_eq ? full.eq_rhs[row] : full.ineq_rhs[row];
+        const bool empty_support =
+            c.vars.empty() ||
+            std::all_of(c.coefs.begin(), c.coefs.end(),
+                        [](double v) { return v == 0.0; });
+        if (empty_support &&
+            (is_eq ? std::fabs(rhs) > 1e-12 : rhs < -1e-12)) {
+          return Status::Infeasible("constraint '" + c.label +
+                                    "' has empty support and nonzero bound");
         }
+        continue;
       }
-      if (!touches_relevant) continue;
-      constraints::LinearConstraint mapped = c;
-      for (size_t i = 0; i < mapped.vars.size(); ++i) {
-        if (var_map[mapped.vars[i]] < 0) {
-          return Status::Internal(
-              "constraint '" + c.label +
-              "' spans relevant and irrelevant buckets; the relevance "
-              "analysis is inconsistent");
-        }
-        mapped.vars[i] = static_cast<uint32_t>(var_map[mapped.vars[i]]);
-      }
-      sub.Add(std::move(mapped));
-    }
-
-    PME_ASSIGN_OR_RETURN(MaxEntProblem sub_problem, BuildProblem(sub));
-    PME_ASSIGN_OR_RETURN(SolverResult sub_result,
-                         Solve(sub_problem, kind, options));
-
-    for (size_t v = 0; v < var_map.size(); ++v) {
-      if (var_map[v] >= 0) {
-        result.p[v] = sub_result.p[static_cast<size_t>(var_map[v])];
+      auto& sel = blocks[static_cast<size_t>(block)];
+      if (is_eq) {
+        sel.eq_rows.push_back(row);
+      } else {
+        sel.ineq_rows.push_back(row);
       }
     }
-    result.iterations = sub_result.iterations;
-    result.converged = sub_result.converged;
-    result.dual_value = sub_result.dual_value;
-    result.presolve_fixed = sub_result.presolve_fixed;
-  } else {
-    result.converged = true;
+  }
+
+  // Solve every block independently — in parallel when asked to. Each
+  // task only writes its own slot, and the scatter below runs after the
+  // barrier in block order, so the assembly is deterministic for any
+  // thread count.
+  std::vector<std::optional<Result<SolverResult>>> block_results(
+      blocks.size());
+  const size_t threads = ThreadPool::ResolveThreads(options.threads);
+  ThreadPool::ParallelFor(threads, blocks.size(), [&](size_t i) {
+    const BlockSelection& sel = blocks[i];
+    auto solve_block = [&]() -> Result<SolverResult> {
+      MaxEntProblem sub;
+      sub.num_vars = sel.cols.size();
+      PME_ASSIGN_OR_RETURN(sub.eq, full.eq.Submatrix(sel.eq_rows, sel.cols));
+      PME_ASSIGN_OR_RETURN(sub.ineq,
+                           full.ineq.Submatrix(sel.ineq_rows, sel.cols));
+      sub.eq_rhs.reserve(sel.eq_rows.size());
+      for (uint32_t r : sel.eq_rows) sub.eq_rhs.push_back(full.eq_rhs[r]);
+      sub.ineq_rhs.reserve(sel.ineq_rows.size());
+      for (uint32_t r : sel.ineq_rows) {
+        sub.ineq_rhs.push_back(full.ineq_rhs[r]);
+      }
+      return Solve(sub, kind, options);
+    };
+    block_results[i] = solve_block();
+  });
+
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    Result<SolverResult>& block_result = *block_results[i];
+    if (!block_result.ok()) return block_result.status();
+    const SolverResult& sub = block_result.value();
+    const auto& cols = blocks[i].cols;
+    for (size_t j = 0; j < cols.size(); ++j) result.p[cols[j]] = sub.p[j];
+    result.iterations += sub.iterations;
+    result.dual_value += sub.dual_value;
+    result.presolve_fixed += sub.presolve_fixed;
+    result.converged = result.converged && sub.converged;
   }
 
   result.entropy = Entropy(result.p);

@@ -12,24 +12,25 @@ namespace pme::maxent::internal {
 namespace {
 
 /// Armijo backtracking shared by the two solvers. Returns true and
-/// updates (lambda, value, grad) on success.
+/// updates (lambda, value, grad) on success. Scratch buffers and the
+/// dual workspace are caller-owned so probes allocate nothing.
 bool ArmijoStep(const DualFunction& dual, const std::vector<double>& direction,
                 double dir_dot_grad, size_t max_steps,
                 std::vector<double>* lambda, double* value,
-                std::vector<double>* grad) {
+                std::vector<double>* grad, std::vector<double>* trial,
+                std::vector<double>* trial_grad, DualWorkspace* ws) {
   const double c1 = 1e-4;
   const size_t m = lambda->size();
-  std::vector<double> trial(m), trial_grad(m);
   double step = 1.0;
   for (size_t ls = 0; ls < max_steps; ++ls) {
     for (size_t j = 0; j < m; ++j) {
-      trial[j] = (*lambda)[j] + step * direction[j];
+      (*trial)[j] = (*lambda)[j] + step * direction[j];
     }
-    const double trial_value = dual.Evaluate(trial, &trial_grad, nullptr);
+    const double trial_value = dual.EvaluateInto(*trial, trial_grad, ws);
     if (std::isfinite(trial_value) &&
         trial_value <= *value + c1 * step * dir_dot_grad) {
-      lambda->swap(trial);
-      grad->swap(trial_grad);
+      lambda->swap(*trial);
+      grad->swap(*trial_grad);
       *value = trial_value;
       return true;
     }
@@ -49,9 +50,10 @@ Result<DualOutcome> MinimizeSteepest(const DualFunction& dual,
     out.converged = true;
     return out;
   }
+  DualWorkspace ws;
   std::vector<double> grad(m);
-  double value = dual.Evaluate(out.lambda, &grad, nullptr);
-  std::vector<double> direction(m);
+  double value = dual.EvaluateInto(out.lambda, &grad, &ws);
+  std::vector<double> direction(m), trial(m), trial_grad(m);
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     out.grad_inf = InfNorm(grad);
@@ -64,8 +66,8 @@ Result<DualOutcome> MinimizeSteepest(const DualFunction& dual,
     for (size_t j = 0; j < m; ++j) direction[j] = -grad[j];
     const double dir_dot_grad = -Dot(grad, grad);
     if (!ArmijoStep(dual, direction, dir_dot_grad,
-                    options.max_line_search_steps, &out.lambda, &value,
-                    &grad)) {
+                    options.max_line_search_steps, &out.lambda, &value, &grad,
+                    &trial, &trial_grad, &ws)) {
       break;  // stalled at numerical precision
     }
     out.iterations = iter + 1;
@@ -97,8 +99,19 @@ Result<DualOutcome> MinimizeNewton(const DualFunction& dual,
   const auto& cols = a.col_indices();
   const auto& values = a.values();
 
-  std::vector<double> grad(m), p;
-  double value = dual.Evaluate(out.lambda, &grad, &p);
+  // Column -> touching rows lists for the Hessian accumulation. The
+  // structure depends only on A, so it is built once per solve.
+  std::vector<std::vector<std::pair<uint32_t, double>>> col_rows(a.cols());
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      col_rows[cols[k]].push_back({static_cast<uint32_t>(r), values[k]});
+    }
+  }
+
+  DualWorkspace ws;
+  std::vector<double> grad(m);
+  double value = dual.EvaluateInto(out.lambda, &grad, &ws);
+  std::vector<double> neg_grad(m), trial(m), trial_grad(m);
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     out.grad_inf = InfNorm(grad);
@@ -109,28 +122,19 @@ Result<DualOutcome> MinimizeNewton(const DualFunction& dual,
       return out;
     }
 
-    // Dense Hessian H = A diag(p) Aᵀ: H_{jk} = Σ_i A_ji p_i A_ki.
-    // Computed row-pair-wise through the shared columns.
+    // Dense Hessian H = A diag(p) Aᵀ: H_{jk} = Σ_i A_ji p_i A_ki,
+    // accumulated per column through the shared-row lists. ws.p holds
+    // p(λ) from the latest EvaluateInto.
     linalg::DenseMatrix h(m, m);
-    // Accumulate via scatter: for each column i, for each pair of rows
-    // touching i. Build column->rows lists once per solve would be
-    // faster, but Newton is for small duals only.
-    std::vector<std::vector<std::pair<uint32_t, double>>> col_rows(a.cols());
-    for (size_t r = 0; r < m; ++r) {
-      for (size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
-        col_rows[cols[k]].push_back({static_cast<uint32_t>(r), values[k]});
-      }
-    }
     for (size_t i = 0; i < col_rows.size(); ++i) {
       const auto& rows = col_rows[i];
       for (const auto& [r1, v1] : rows) {
         for (const auto& [r2, v2] : rows) {
-          h.At(r1, r2) += v1 * p[i] * v2;
+          h.At(r1, r2) += v1 * ws.p[i] * v2;
         }
       }
     }
 
-    std::vector<double> neg_grad(m);
     for (size_t j = 0; j < m; ++j) neg_grad[j] = -grad[j];
     auto dir = linalg::CholeskySolve(h, neg_grad, options.newton_jitter);
     std::vector<double> direction;
@@ -145,14 +149,13 @@ Result<DualOutcome> MinimizeNewton(const DualFunction& dual,
       direction = neg_grad;
       dir_dot_grad = -Dot(grad, grad);
     }
-    std::vector<double> dummy_p;
     if (!ArmijoStep(dual, direction, dir_dot_grad,
-                    options.max_line_search_steps, &out.lambda, &value,
-                    &grad)) {
+                    options.max_line_search_steps, &out.lambda, &value, &grad,
+                    &trial, &trial_grad, &ws)) {
       break;
     }
-    // Refresh p for the next Hessian.
-    value = dual.Evaluate(out.lambda, &grad, &p);
+    // ws.p already holds p(λ) at the accepted iterate: the successful
+    // probe was the last evaluation, so no refresh pass is needed.
     out.iterations = iter + 1;
   }
   out.dual_value = value;

@@ -16,21 +16,30 @@ DualFunction::DualFunction(const linalg::SparseMatrix* a,
 double DualFunction::Evaluate(const std::vector<double>& lambda,
                               std::vector<double>* grad,
                               std::vector<double>* p) const {
+  DualWorkspace ws;
+  if (p != nullptr) ws.p.swap(*p);  // reuse the caller's capacity
+  const double value = EvaluateInto(lambda, grad, &ws);
+  if (p != nullptr) p->swap(ws.p);
+  return value;
+}
+
+double DualFunction::EvaluateInto(const std::vector<double>& lambda,
+                                  std::vector<double>* grad,
+                                  DualWorkspace* ws) const {
+  assert(ws != nullptr);
   assert(lambda.size() == dim());
-  // t = Aᵀλ, p = exp(t − 1).
-  std::vector<double> t;
-  a_->TransposeMultiply(lambda, t);
-  std::vector<double> local_p;
-  std::vector<double>& pv = p != nullptr ? *p : local_p;
-  pv.resize(t.size());
+  // p <- Aᵀλ, then p <- exp(p − 1) in place (single buffer, no `t`).
+  if (ws->p.size() != num_vars()) ws->p.resize(num_vars());
+  a_->TransposeMultiply(lambda, ws->p);
   double sum_p = 0.0;
-  for (size_t i = 0; i < t.size(); ++i) {
-    pv[i] = SafeExp(t[i] - 1.0);
-    sum_p += pv[i];
+  for (double& v : ws->p) {
+    v = SafeExp(v - 1.0);
+    sum_p += v;
   }
-  double value = sum_p - Dot(*b_, lambda);
+  const double value = sum_p - Dot(*b_, lambda);
   if (grad != nullptr) {
-    a_->Multiply(pv, *grad);
+    if (grad->size() != dim()) grad->resize(dim());
+    a_->Multiply(ws->p, *grad);
     for (size_t j = 0; j < grad->size(); ++j) (*grad)[j] -= (*b_)[j];
   }
   return value;

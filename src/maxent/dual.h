@@ -10,6 +10,17 @@
 
 namespace pme::maxent {
 
+/// Caller-owned scratch for the allocation-free dual evaluation. One
+/// workspace per solver run; after the first Evaluate the buffers are at
+/// their final size and every subsequent call — including every
+/// line-search probe — performs zero heap allocations.
+struct DualWorkspace {
+  /// The primal iterate p(λ) = exp(Aᵀλ − 1), size n. Valid after each
+  /// EvaluateInto; the exponent Aᵀλ is computed into this same buffer
+  /// and overwritten in place, so no separate `t` scratch exists.
+  std::vector<double> p;
+};
+
 /// The Lagrange dual of the equality-constrained MaxEnt problem
 /// (Section 3.3 converts the constrained problem to an unconstrained one
 /// exactly this way).
@@ -38,9 +49,19 @@ class DualFunction {
   size_t num_vars() const { return a_->cols(); }
 
   /// Evaluates D(λ). When non-null, `grad` receives ∇D (size m) and `p`
-  /// receives the primal iterate p(λ) (size n).
+  /// receives the primal iterate p(λ) (size n). Convenience wrapper over
+  /// EvaluateInto; allocates a fresh workspace per call — solvers use
+  /// EvaluateInto directly to keep their hot loop allocation-free.
   double Evaluate(const std::vector<double>& lambda,
                   std::vector<double>* grad, std::vector<double>* p) const;
+
+  /// Fused evaluation of D(λ) into caller-owned scratch: the exponent
+  /// Aᵀλ, the primal p(λ) and the running sum Σp are produced in a
+  /// single pass over `ws->p`, then ∇D = A p − b is written into `grad`
+  /// (when non-null). Buffers are grown on first use and merely reused
+  /// afterwards — no per-call heap traffic.
+  double EvaluateInto(const std::vector<double>& lambda,
+                      std::vector<double>* grad, DualWorkspace* ws) const;
 
   /// The primal iterate p(λ) alone.
   std::vector<double> Primal(const std::vector<double>& lambda) const;

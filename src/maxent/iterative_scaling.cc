@@ -66,10 +66,11 @@ Result<DualOutcome> MinimizeGis(const DualFunction& dual,
     return Status::FailedPrecondition("constraint matrix is empty");
   }
 
-  std::vector<double> grad(m), p;
+  DualWorkspace ws;
+  std::vector<double> grad(m);
   const auto& b = dual.rhs();
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
-    out.dual_value = dual.Evaluate(out.lambda, &grad, &p);
+    out.dual_value = dual.EvaluateInto(out.lambda, &grad, &ws);
     out.grad_inf = InfNorm(grad);
     out.iterations = iter;
     if (out.grad_inf <= options.tolerance) {
@@ -86,7 +87,7 @@ Result<DualOutcome> MinimizeGis(const DualFunction& dual,
       out.lambda[j] += std::log(b[j] / mu) / c_max;
     }
   }
-  out.dual_value = dual.Evaluate(out.lambda, &grad, nullptr);
+  out.dual_value = dual.EvaluateInto(out.lambda, &grad, &ws);
   out.grad_inf = InfNorm(grad);
   out.iterations = options.max_iterations;
   out.converged = out.grad_inf <= options.tolerance;
@@ -111,9 +112,10 @@ Result<DualOutcome> MinimizeIis(const DualFunction& dual,
   const auto& values = a.values();
   const auto& b = dual.rhs();
 
-  std::vector<double> grad(m), p;
+  DualWorkspace ws;
+  std::vector<double> grad(m);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
-    out.dual_value = dual.Evaluate(out.lambda, &grad, &p);
+    out.dual_value = dual.EvaluateInto(out.lambda, &grad, &ws);
     out.grad_inf = InfNorm(grad);
     out.iterations = iter;
     if (out.grad_inf <= options.tolerance) {
@@ -129,7 +131,7 @@ Result<DualOutcome> MinimizeIis(const DualFunction& dual,
         double f = 0.0, df = 0.0;
         for (size_t k = offsets[j]; k < offsets[j + 1]; ++k) {
           const double term =
-              values[k] * p[cols[k]] * SafeExp(delta * col_sums[cols[k]]);
+              values[k] * ws.p[cols[k]] * SafeExp(delta * col_sums[cols[k]]);
           f += term;
           df += term * col_sums[cols[k]];
         }
@@ -140,7 +142,7 @@ Result<DualOutcome> MinimizeIis(const DualFunction& dual,
       out.lambda[j] += delta;
     }
   }
-  out.dual_value = dual.Evaluate(out.lambda, &grad, nullptr);
+  out.dual_value = dual.EvaluateInto(out.lambda, &grad, &ws);
   out.grad_inf = InfNorm(grad);
   out.iterations = options.max_iterations;
   out.converged = out.grad_inf <= options.tolerance;

@@ -8,12 +8,13 @@ namespace pme::maxent::internal {
 namespace {
 
 /// Armijo backtracking. On success updates (lambda, value, grad) and
-/// returns true.
+/// returns true. Every probe evaluates through the shared workspace, so
+/// the line search allocates nothing.
 bool Backtrack(const DualFunction& dual, const std::vector<double>& direction,
                double dir_dot_grad, double initial_step, size_t max_steps,
                std::vector<double>* lambda, double* value,
                std::vector<double>* grad, std::vector<double>* scratch_lambda,
-               std::vector<double>* scratch_grad) {
+               std::vector<double>* scratch_grad, DualWorkspace* ws) {
   const double c1 = 1e-4;
   const size_t m = lambda->size();
   double step = initial_step;
@@ -22,7 +23,7 @@ bool Backtrack(const DualFunction& dual, const std::vector<double>& direction,
       (*scratch_lambda)[j] = (*lambda)[j] + step * direction[j];
     }
     const double trial_value =
-        dual.Evaluate(*scratch_lambda, scratch_grad, nullptr);
+        dual.EvaluateInto(*scratch_lambda, scratch_grad, ws);
     if (std::isfinite(trial_value) &&
         trial_value <= *value + c1 * step * dir_dot_grad) {
       lambda->swap(*scratch_lambda);
@@ -47,8 +48,9 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
     return out;
   }
 
+  DualWorkspace ws;
   std::vector<double> grad(m, 0.0);
-  double value = dual.Evaluate(out.lambda, &grad, nullptr);
+  double value = dual.EvaluateInto(out.lambda, &grad, &ws);
 
   // Correction-pair history for the two-loop recursion.
   std::deque<std::vector<double>> s_hist, y_hist;
@@ -56,6 +58,9 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
 
   std::vector<double> direction(m), scratch_lambda(m), scratch_grad(m);
   std::vector<double> prev_lambda(m), prev_grad(m);
+  std::vector<double> alpha(options.lbfgs_history, 0.0);
+  // Retired history buffers, recycled so steady state allocates nothing.
+  std::vector<double> s_spare, y_spare;
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     out.grad_inf = InfNorm(grad);
@@ -68,7 +73,6 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
 
     // Two-loop recursion: direction = -H_k * grad.
     direction = grad;
-    std::vector<double> alpha(s_hist.size());
     for (size_t i = s_hist.size(); i-- > 0;) {
       alpha[i] = rho_hist[i] * Dot(s_hist[i], direction);
       Axpy(-alpha[i], y_hist[i], direction);
@@ -100,9 +104,10 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
     prev_lambda = out.lambda;
     prev_grad = grad;
 
-    bool accepted = Backtrack(dual, direction, dir_dot_grad, 1.0,
-                              options.max_line_search_steps, &out.lambda,
-                              &value, &grad, &scratch_lambda, &scratch_grad);
+    bool accepted =
+        Backtrack(dual, direction, dir_dot_grad, 1.0,
+                  options.max_line_search_steps, &out.lambda, &value, &grad,
+                  &scratch_lambda, &scratch_grad, &ws);
     if (!accepted && !s_hist.empty()) {
       // The quasi-Newton direction may be badly scaled (near-degenerate
       // curvature); drop the memory and retry along the raw gradient with
@@ -115,7 +120,7 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
       accepted = Backtrack(dual, direction, -gnorm * gnorm,
                            1.0 / std::max(1.0, gnorm),
                            options.max_line_search_steps, &out.lambda, &value,
-                           &grad, &scratch_lambda, &scratch_grad);
+                           &grad, &scratch_lambda, &scratch_grad, &ws);
     }
     if (!accepted) {
       // Even steepest descent cannot improve: the iterate is at numerical
@@ -127,8 +132,11 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
       return out;
     }
 
-    // Update history with the accepted move.
-    std::vector<double> s(m), y(m);
+    // Update history with the accepted move, recycling retired buffers.
+    std::vector<double> s = std::move(s_spare);
+    std::vector<double> y = std::move(y_spare);
+    s.resize(m);
+    y.resize(m);
     for (size_t j = 0; j < m; ++j) {
       s[j] = out.lambda[j] - prev_lambda[j];
       y[j] = grad[j] - prev_grad[j];
@@ -139,10 +147,15 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
       y_hist.push_back(std::move(y));
       rho_hist.push_back(1.0 / sy);
       if (s_hist.size() > options.lbfgs_history) {
+        s_spare = std::move(s_hist.front());
+        y_spare = std::move(y_hist.front());
         s_hist.pop_front();
         y_hist.pop_front();
         rho_hist.pop_front();
       }
+    } else {
+      s_spare = std::move(s);
+      y_spare = std::move(y);
     }
     out.iterations = iter + 1;
   }

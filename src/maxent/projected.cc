@@ -50,8 +50,9 @@ Result<DualOutcome> MinimizeProjected(const DualFunction& dual, size_t num_eq,
     return out;
   }
 
+  DualWorkspace ws;
   std::vector<double> grad(m), prev_lambda, prev_grad;
-  double value = dual.Evaluate(out.lambda, &grad, nullptr);
+  double value = dual.EvaluateInto(out.lambda, &grad, &ws);
   double bb_step = 1.0;
 
   std::vector<double> trial(m), trial_grad(m);
@@ -94,7 +95,7 @@ Result<DualOutcome> MinimizeProjected(const DualFunction& dual, size_t num_eq,
       for (size_t j = 0; j < m; ++j) {
         decrease_model += grad[j] * (trial[j] - out.lambda[j]);
       }
-      const double trial_value = dual.Evaluate(trial, &trial_grad, nullptr);
+      const double trial_value = dual.EvaluateInto(trial, &trial_grad, &ws);
       if (std::isfinite(trial_value) &&
           trial_value <= value + c1 * decrease_model) {
         accepted = true;

@@ -48,6 +48,11 @@ struct SolverOptions {
   bool presolve = true;
   /// Dual dimension above which the dense Newton solver refuses to run.
   size_t newton_max_dim = 4000;
+  /// Worker threads for the block-decomposed solve (SolveDecomposed):
+  /// independent connected components are solved concurrently. 1 = serial;
+  /// 0 = hardware concurrency. Results are identical for any value — the
+  /// per-block solves and the scatter order are deterministic.
+  size_t threads = 1;
 };
 
 /// Outcome of a MaxEnt solve.

@@ -1,16 +1,19 @@
 // Tests for src/common: Status/Result, PRNG, math utilities, string
-// utilities, and the flag parser.
+// utilities, the flag parser, and the thread pool.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/math_util.h"
 #include "common/prng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace pme {
 namespace {
@@ -279,6 +282,51 @@ TEST(FlagsTest, DefaultsApply) {
   Flags flags(1, const_cast<char**>(argv));
   EXPECT_EQ(flags.GetInt("missing", 7), 7);
   EXPECT_FALSE(flags.Has("missing"));
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1, 3, 8}) {
+    const size_t n = 257;
+    std::vector<int> hits(n, 0);
+    ThreadPool::ParallelFor(threads, n, [&hits](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSerialPathPreservesOrder) {
+  std::vector<size_t> order;
+  ThreadPool::ParallelFor(1, 5, [&order](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ResolveThreadsMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreads(5), 5u);
 }
 
 TEST(FlagsTest, NonNumericFallsBackToDefault) {

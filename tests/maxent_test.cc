@@ -86,6 +86,55 @@ TEST(DualFunctionTest, GradientMatchesFiniteDifferences) {
   }
 }
 
+TEST(DualFunctionTest, EvaluateIntoMatchesEvaluate) {
+  Prng prng(7);
+  auto a = linalg::SparseMatrix::FromDense(
+      {{1.0, 0.0, 2.0, 0.5}, {0.0, 1.0, 1.0, 0.0}, {0.3, 0.0, 0.0, 1.0}});
+  std::vector<double> b = {0.4, 0.3, 0.3};
+  DualFunction dual(&a, &b);
+  DualWorkspace ws;
+  std::vector<double> grad_fused, grad, p;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> lambda(3);
+    for (auto& v : lambda) v = prng.NextDouble(-1.0, 1.0);
+    const double fused = dual.EvaluateInto(lambda, &grad_fused, &ws);
+    const double legacy = dual.Evaluate(lambda, &grad, &p);
+    EXPECT_DOUBLE_EQ(fused, legacy);
+    ASSERT_EQ(ws.p.size(), p.size());
+    for (size_t i = 0; i < p.size(); ++i) EXPECT_DOUBLE_EQ(ws.p[i], p[i]);
+    for (size_t j = 0; j < grad.size(); ++j) {
+      EXPECT_DOUBLE_EQ(grad_fused[j], grad[j]);
+    }
+  }
+}
+
+TEST(DualFunctionTest, EvaluateIntoNeverResizesAfterWarmup) {
+  // The allocation-free contract of the solver hot path: after the first
+  // call the workspace and gradient buffers are final — every subsequent
+  // evaluation (e.g. line-search probes) reuses them in place.
+  Prng prng(13);
+  auto a = linalg::SparseMatrix::FromDense(
+      {{1.0, 1.0, 0.0}, {0.0, 1.0, 1.0}});
+  std::vector<double> b = {0.5, 0.5};
+  DualFunction dual(&a, &b);
+  DualWorkspace ws;
+  std::vector<double> grad;
+  std::vector<double> lambda = {0.1, -0.2};
+  dual.EvaluateInto(lambda, &grad, &ws);
+  const double* p_data = ws.p.data();
+  const double* grad_data = grad.data();
+  const size_t p_cap = ws.p.capacity();
+  const size_t grad_cap = grad.capacity();
+  for (int trial = 0; trial < 100; ++trial) {
+    for (auto& v : lambda) v = prng.NextDouble(-2.0, 2.0);
+    dual.EvaluateInto(lambda, &grad, &ws);
+    ASSERT_EQ(ws.p.data(), p_data);
+    ASSERT_EQ(grad.data(), grad_data);
+    ASSERT_EQ(ws.p.capacity(), p_cap);
+    ASSERT_EQ(grad.capacity(), grad_cap);
+  }
+}
+
 TEST(DualFunctionTest, PrimalIsExpOfDualCombination) {
   auto a = linalg::SparseMatrix::FromDense({{1.0, 1.0}});
   std::vector<double> b = {1.0};

@@ -8,7 +8,7 @@
 // Examples:
 //   pme synth --records=14210 --out=adult.csv
 //   pme mine --data=adult.csv --sensitive=education --top=20
-//   pme analyze --data=adult.csv --sensitive=education --ell=5 \
+//   pme analyze --data=adult.csv --sensitive=education --ell=5
 //       --knowledge=knowledge.txt --report=report.txt
 //
 // Knowledge files use the statement language of knowledge/parser.h, e.g.:
@@ -42,7 +42,8 @@ int Usage() {
                "  analyze  --data=FILE --sensitive=ATTR [--ell=L]\n"
                "           [--knowledge=FILE] [--solver=lbfgs|gis|iis|"
                "steepest|newton]\n"
-               "           [--report=FILE] [--posterior=FILE]\n");
+               "           [--threads=N] [--report=FILE] "
+               "[--posterior=FILE]\n");
   return 2;
 }
 
@@ -148,6 +149,11 @@ int RunAnalyze(const pme::Flags& flags) {
   auto solver = ParseSolver(flags.GetString("solver", "lbfgs"));
   if (!solver.ok()) return Fail(solver.status());
   options.solver = solver.value();
+  // Independent knowledge components are solved in parallel; 0 = all
+  // hardware threads, 1 (default) = serial. The result is identical for
+  // any value.
+  options.solver_options.threads =
+      static_cast<size_t>(flags.GetInt("threads", 1));
 
   auto analysis = pme::core::Analyze(bz.value().table, kb, options,
                                      &bz.value().qi_encoder);
