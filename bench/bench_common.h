@@ -11,6 +11,8 @@
 //                   BENCH_*.json perf trajectory tracked across PRs)
 //   --threads=N     worker threads for the block-decomposed solve
 //                   (0 = hardware concurrency)
+//   --simd=MODE     kernel dispatch: auto (default; AVX2+FMA when the
+//                   CPU has it) or off (portable scalar, for A/B runs)
 //   --seed=S        dataset seed
 // and prints the same series the corresponding paper figure plots.
 
@@ -25,6 +27,7 @@
 
 #include "common/flags.h"
 #include "common/string_util.h"
+#include "common/vec_math.h"
 #include "core/experiment.h"
 #include "knowledge/miner.h"
 
@@ -36,6 +39,7 @@ struct BenchScale {
   bool full = false;
   uint64_t seed = 0;
   size_t threads = 1;
+  std::string simd = "auto";
   std::string csv_path;
   std::string json_path;
 };
@@ -47,6 +51,10 @@ inline BenchScale ResolveScale(const Flags& flags, size_t default_records) {
       flags.GetInt("records", scale.full ? 14210 : default_records));
   scale.seed = static_cast<uint64_t>(flags.GetInt("seed", 20080612));
   scale.threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  scale.simd = flags.GetString("simd", "auto");
+  // Applied here, once, before any pipeline work: kernel dispatch is
+  // process-global state and benches measure whatever is active.
+  kernels::SetSimdMode(kernels::ParseSimdMode(scale.simd));
   scale.csv_path = flags.GetString("csv", "");
   scale.json_path = flags.GetString("json", "");
   return scale;

@@ -19,6 +19,7 @@
 #include "anonymize/anatomy.h"
 #include "anonymize/bucketized_table.h"
 #include "common/prng.h"
+#include "common/vec_math.h"
 #include "constraints/bk_compiler.h"
 #include "constraints/invariants.h"
 #include "constraints/system.h"
@@ -68,13 +69,18 @@ void BM_AnatomyPartition(benchmark::State& state) {
 BENCHMARK(BM_AnatomyPartition)->Arg(1000)->Arg(10000);
 
 void BM_TermIndexBuild(benchmark::State& state) {
+  // range(1) = worker threads for the sharded build (1 = serial).
   auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
+  const size_t threads = static_cast<size_t>(state.range(1));
   for (auto _ : state) {
-    auto index = pme::constraints::TermIndex::Build(bz.table);
+    auto index = pme::constraints::TermIndex::Build(bz.table, threads);
     benchmark::DoNotOptimize(index.num_variables());
   }
 }
-BENCHMARK(BM_TermIndexBuild)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_TermIndexBuild)
+    ->Args({1000, 1})
+    ->Args({10000, 1})
+    ->Args({10000, 4});
 
 void BM_InvariantGeneration(benchmark::State& state) {
   auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
@@ -140,6 +146,104 @@ void BM_DualEvaluateFused(benchmark::State& state) {
                           static_cast<int64_t>(problem.eq.nnz()));
 }
 BENCHMARK(BM_DualEvaluateFused)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// RAII guard: forces a dispatch mode for one benchmark body and restores
+/// the previous mode afterwards (benchmarks run in one process; dispatch
+/// is global, and a --simd=off run must stay off for the other benches).
+class SimdModeGuard {
+ public:
+  explicit SimdModeGuard(bool simd_on) : saved_(pme::kernels::GetSimdMode()) {
+    pme::kernels::SetSimdMode(simd_on ? pme::kernels::SimdMode::kAuto
+                                      : pme::kernels::SimdMode::kOff);
+  }
+  ~SimdModeGuard() { pme::kernels::SetSimdMode(saved_); }
+
+ private:
+  pme::kernels::SimdMode saved_;
+};
+
+void BM_ExpM1Kernel(benchmark::State& state) {
+  // The p = exp(Aᵀλ − 1) pass in isolation: range(0) elements, range(1)
+  // selects scalar (0) or SIMD-auto (1). The ≥2x AVX2-vs-scalar claim in
+  // BENCH_kernels.json comes from this pair.
+  const size_t n = static_cast<size_t>(state.range(0));
+  SimdModeGuard guard(state.range(1) != 0);
+  pme::Prng prng(11);
+  std::vector<double> x(n), y(n);
+  // Typical dual exponents live in a modest range; seed a few clamp
+  // boundaries so the bench covers the branchy path too.
+  for (auto& v : x) v = prng.NextDouble(-30.0, 10.0);
+  for (size_t i = 0; i < n; i += 1024) x[i] = (i % 2048 == 0) ? 710.0 : -710.0;
+  for (auto _ : state) {
+    pme::kernels::ExpM1Shifted(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExpM1Kernel)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1});
+
+void BM_ExpM1SumFused(benchmark::State& state) {
+  // The fused in-place exp + horizontal-accumulate kernel the dual
+  // objective actually calls.
+  const size_t n = static_cast<size_t>(state.range(0));
+  SimdModeGuard guard(state.range(1) != 0);
+  pme::Prng prng(13);
+  std::vector<double> x0(n), x(n);
+  for (auto& v : x0) v = prng.NextDouble(-30.0, 10.0);
+  for (auto _ : state) {
+    x = x0;
+    double s = pme::kernels::ExpM1SumInPlace(x);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExpM1SumFused)->Args({65536, 0})->Args({65536, 1});
+
+void BM_DualEvaluateSimd(benchmark::State& state) {
+  // End-to-end dual evaluation (CSR transpose product, fused exp-sum,
+  // fused gradient pass) under both dispatch modes.
+  auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
+  auto index = pme::constraints::TermIndex::Build(bz.table);
+  pme::constraints::ConstraintSystem system(index.num_variables());
+  system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
+  auto problem = pme::maxent::BuildProblem(system).ValueOrDie();
+  pme::maxent::DualFunction dual(&problem.eq, &problem.eq_rhs);
+  std::vector<double> lambda(dual.dim(), 0.1), grad;
+  pme::maxent::DualWorkspace ws;
+  SimdModeGuard guard(state.range(1) != 0);
+  for (auto _ : state) {
+    double v = dual.EvaluateInto(lambda, &grad, &ws);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(problem.eq.nnz()));
+}
+// 14210 records = the paper's full scale (2,842 buckets of 5).
+BENCHMARK(BM_DualEvaluateSimd)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({14210, 0})
+    ->Args({14210, 1});
+
+void BM_SolveSimd(benchmark::State& state) {
+  // Whole LBFGS solve (invariant system, no knowledge) under both
+  // dispatch modes: the end-to-end view of the kernel gains.
+  auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
+  auto index = pme::constraints::TermIndex::Build(bz.table);
+  pme::constraints::ConstraintSystem system(index.num_variables());
+  system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
+  auto problem = pme::maxent::BuildProblem(system).ValueOrDie();
+  SimdModeGuard guard(state.range(1) != 0);
+  for (auto _ : state) {
+    auto result = pme::maxent::Solve(problem).ValueOrDie();
+    benchmark::DoNotOptimize(result.iterations);
+  }
+}
+BENCHMARK(BM_SolveSimd)->Args({2000, 0})->Args({2000, 1});
 
 void BM_ClosedForm(benchmark::State& state) {
   auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
@@ -238,12 +342,15 @@ void WriteJson(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --json=PATH before google-benchmark sees (and rejects) it.
+  // Peel off --json=PATH and --simd=MODE before google-benchmark sees
+  // (and rejects) them.
   std::string json_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--simd=", 7) == 0) {
+      pme::kernels::SetSimdMode(pme::kernels::ParseSimdMode(argv[i] + 7));
     } else {
       args.push_back(argv[i]);
     }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "common/vec_math.h"
+
 namespace pme {
 
 double SafeExp(double x) {
@@ -18,9 +20,7 @@ double XLogX(double x) {
 }
 
 double Entropy(const std::vector<double>& p) {
-  double h = 0.0;
-  for (double v : p) h -= XLogX(v);
-  return h;
+  return kernels::NegXLogXSum(p);
 }
 
 double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
@@ -36,43 +36,38 @@ double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
 }
 
 double LogSumExp(const std::vector<double>& x) {
-  if (x.empty()) return -std::numeric_limits<double>::infinity();
-  const double m = *std::max_element(x.begin(), x.end());
-  if (!std::isfinite(m)) return m;
-  double sum = 0.0;
-  for (double v : x) sum += std::exp(v - m);
-  return m + std::log(sum);
+  // Vectorized max pass, then a fused exp + horizontal-accumulate pass —
+  // the same kernels the dual objective runs on.
+  const double m = kernels::MaxVal(x);
+  if (!std::isfinite(m)) return m;  // empty or all -inf -> -inf; +inf -> +inf
+  return m + std::log(kernels::SumExpShifted(x, m));
 }
 
-double InfNorm(const std::vector<double>& v) {
-  double m = 0.0;
-  for (double x : v) m = std::max(m, std::fabs(x));
-  return m;
-}
+double InfNorm(const std::vector<double>& v) { return kernels::InfNorm(v); }
 
-double TwoNorm(const std::vector<double>& v) {
-  double s = 0.0;
-  for (double x : v) s += x * x;
-  return std::sqrt(s);
-}
+double TwoNorm(const std::vector<double>& v) { return kernels::TwoNorm(v); }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   assert(a.size() == b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return kernels::Dot(a, b);
 }
 
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
   assert(x.size() == y.size());
-  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::Axpy(alpha, x, y);
 }
 
 bool NormalizeInPlace(std::vector<double>& v) {
   double sum = 0.0;
   for (double x : v) sum += x;
   if (sum <= 0.0) return false;
-  for (double& x : v) x /= sum;
+  const double inv = 1.0 / sum;
+  if (std::isfinite(inv)) {
+    kernels::Scale(v, inv);
+  } else {
+    // A denormal sum overflows the reciprocal; divide element-wise.
+    for (double& x : v) x /= sum;
+  }
   return true;
 }
 

@@ -1,0 +1,438 @@
+// Vectorized kernel layer. Two dispatch tables — portable scalar and
+// AVX2+FMA — are compiled into every binary; the fastest one the CPU
+// supports is selected once at startup (overridable with `--simd=off`
+// for A/B benching and parity testing).
+//
+// The AVX2 exponential is a Cephes-style kernel: the exponent is split
+// off as k = round(x·log2 e), the residual r = x − k·ln 2 (two-part ln 2
+// for accuracy) is mapped through a (3,4)-degree Padé approximant in r²,
+// and 2^k is reconstructed directly in the double's exponent field. Max
+// observed error vs libm is ~2 ulp, far inside the 1e-12 relative bound
+// the parity tests enforce. Inputs follow SafeExp clamping (±708), so
+// every result is finite and normal.
+
+#include "common/vec_math.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PME_VEC_X86 1
+#include <immintrin.h>
+#endif
+
+namespace pme::kernels {
+namespace {
+
+constexpr double kExpClamp = 708.0;
+
+inline double ClampExpArg(double x) {
+  if (x > kExpClamp) return kExpClamp;
+  if (x < -kExpClamp) return -kExpClamp;
+  return x;  // NaN falls through both comparisons, matching SafeExp
+}
+
+// ------------------------------------------------------------ scalar path
+
+double ExpM1SumInPlaceScalar(double* x, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = std::exp(ClampExpArg(x[i] - 1.0));
+    x[i] = v;
+    sum += v;
+  }
+  return sum;
+}
+
+void ExpM1ShiftedScalar(const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = std::exp(ClampExpArg(x[i] - 1.0));
+}
+
+double SumExpShiftedScalar(const double* x, size_t n, double shift) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += std::exp(ClampExpArg(x[i] - shift));
+  return sum;
+}
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void AxpyScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaledAddScalar(const double* a, double s, const double* d, double* out,
+                     size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + s * d[i];
+}
+
+void ScaleScalar(double* v, double s, size_t n) {
+  for (size_t i = 0; i < n; ++i) v[i] *= s;
+}
+
+double TwoNormScalar(const double* v, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += v[i] * v[i];
+  return std::sqrt(s);
+}
+
+double InfNormScalar(const double* v, size_t n) {
+  double m = 0.0;
+  for (size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(v[i]));
+  return m;
+}
+
+double MaxValScalar(const double* v, size_t n) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) m = std::max(m, v[i]);
+  return m;
+}
+
+// -------------------------------------------------------- AVX2+FMA path
+
+#if PME_VEC_X86
+#define PME_TARGET_AVX2 __attribute__((target("avx2,fma")))
+
+PME_TARGET_AVX2 inline double Hsum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+}
+
+PME_TARGET_AVX2 inline double Hmax(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_max_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_max_sd(lo, _mm_unpackhi_pd(lo, lo)));
+}
+
+PME_TARGET_AVX2 inline __m256d ClampExpArgPd(__m256d x) {
+  // Constant-first operand order: MINPD/MAXPD return the *second* operand
+  // when either is NaN, so a NaN input propagates like the scalar path.
+  const __m256d hi = _mm256_set1_pd(kExpClamp);
+  const __m256d lo = _mm256_set1_pd(-kExpClamp);
+  return _mm256_max_pd(lo, _mm256_min_pd(hi, x));
+}
+
+/// exp of four clamped exponents.
+PME_TARGET_AVX2 inline __m256d ExpPd(__m256d t) {
+  const __m256d log2e = _mm256_set1_pd(1.44269504088896340736);
+  const __m256d ln2_hi = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d ln2_lo = _mm256_set1_pd(1.42860682030941723212e-6);
+  const __m256d p0 = _mm256_set1_pd(1.26177193074810590878e-4);
+  const __m256d p1 = _mm256_set1_pd(3.02994407707441961300e-2);
+  const __m256d p2 = _mm256_set1_pd(9.99999999999999999910e-1);
+  const __m256d q0 = _mm256_set1_pd(3.00198505138664455042e-6);
+  const __m256d q1 = _mm256_set1_pd(2.52448340349684104192e-3);
+  const __m256d q2 = _mm256_set1_pd(2.27265548208155028766e-1);
+  const __m256d q3 = _mm256_set1_pd(2.00000000000000000005e0);
+  const __m256d one = _mm256_set1_pd(1.0);
+
+  const __m256d k = _mm256_round_pd(
+      _mm256_mul_pd(t, log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fnmadd_pd(k, ln2_hi, t);
+  r = _mm256_fnmadd_pd(k, ln2_lo, r);
+  const __m256d r2 = _mm256_mul_pd(r, r);
+
+  // exp(r) = 1 + 2 r P(r²) / (Q(r²) − r P(r²)).
+  __m256d px = _mm256_fmadd_pd(p0, r2, p1);
+  px = _mm256_fmadd_pd(px, r2, p2);
+  px = _mm256_mul_pd(px, r);
+  __m256d qx = _mm256_fmadd_pd(q0, r2, q1);
+  qx = _mm256_fmadd_pd(qx, r2, q2);
+  qx = _mm256_fmadd_pd(qx, r2, q3);
+  const __m256d e = _mm256_add_pd(
+      one, _mm256_div_pd(_mm256_add_pd(px, px), _mm256_sub_pd(qx, px)));
+
+  // 2^k reconstructed in the exponent field. |k| <= 1022 after the ±708
+  // clamp, so the biased exponent stays inside the normal range.
+  const __m256i k64 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(k));
+  const __m256i bits =
+      _mm256_slli_epi64(_mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52);
+  return _mm256_mul_pd(e, _mm256_castsi256_pd(bits));
+}
+
+PME_TARGET_AVX2 double ExpM1SumInPlaceAvx2(double* x, size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t =
+        ClampExpArgPd(_mm256_sub_pd(_mm256_loadu_pd(x + i), one));
+    const __m256d e = ExpPd(t);
+    _mm256_storeu_pd(x + i, e);
+    acc = _mm256_add_pd(acc, e);
+  }
+  double sum = Hsum(acc);
+  for (; i < n; ++i) {
+    const double v = std::exp(ClampExpArg(x[i] - 1.0));
+    x[i] = v;
+    sum += v;
+  }
+  return sum;
+}
+
+PME_TARGET_AVX2 void ExpM1ShiftedAvx2(const double* x, double* y, size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t =
+        ClampExpArgPd(_mm256_sub_pd(_mm256_loadu_pd(x + i), one));
+    _mm256_storeu_pd(y + i, ExpPd(t));
+  }
+  for (; i < n; ++i) y[i] = std::exp(ClampExpArg(x[i] - 1.0));
+}
+
+PME_TARGET_AVX2 double SumExpShiftedAvx2(const double* x, size_t n,
+                                         double shift) {
+  const __m256d sh = _mm256_set1_pd(shift);
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t =
+        ClampExpArgPd(_mm256_sub_pd(_mm256_loadu_pd(x + i), sh));
+    acc = _mm256_add_pd(acc, ExpPd(t));
+  }
+  double sum = Hsum(acc);
+  for (; i < n; ++i) sum += std::exp(ClampExpArg(x[i] - shift));
+  return sum;
+}
+
+PME_TARGET_AVX2 double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  double sum = Hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+PME_TARGET_AVX2 void AxpyAvx2(double alpha, const double* x, double* y,
+                              size_t n) {
+  const __m256d a = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(a, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+PME_TARGET_AVX2 void ScaledAddAvx2(const double* a, double s, const double* d,
+                                   double* out, size_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        out + i, _mm256_fmadd_pd(sv, _mm256_loadu_pd(d + i),
+                                 _mm256_loadu_pd(a + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] + s * d[i];
+}
+
+PME_TARGET_AVX2 void ScaleAvx2(double* v, double s, size_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(v + i, _mm256_mul_pd(sv, _mm256_loadu_pd(v + i)));
+  }
+  for (; i < n; ++i) v[i] *= s;
+}
+
+PME_TARGET_AVX2 double TwoNormAvx2(const double* v, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(v + i);
+    acc = _mm256_fmadd_pd(x, x, acc);
+  }
+  double sum = Hsum(acc);
+  for (; i < n; ++i) sum += v[i] * v[i];
+  return std::sqrt(sum);
+}
+
+PME_TARGET_AVX2 double InfNormAvx2(const double* v, size_t n) {
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_max_pd(acc, _mm256_and_pd(abs_mask, _mm256_loadu_pd(v + i)));
+  }
+  double m = Hmax(acc);
+  for (; i < n; ++i) m = std::max(m, std::fabs(v[i]));
+  return m;
+}
+
+PME_TARGET_AVX2 double MaxValAvx2(const double* v, size_t n) {
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+  __m256d acc = _mm256_set1_pd(neg_inf);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_max_pd(acc, _mm256_loadu_pd(v + i));
+  }
+  double m = Hmax(acc);
+  for (; i < n; ++i) m = std::max(m, v[i]);
+  return m;
+}
+
+#undef PME_TARGET_AVX2
+#endif  // PME_VEC_X86
+
+// --------------------------------------------------------- dispatch table
+
+struct KernelTable {
+  double (*exp_m1_sum_inplace)(double*, size_t);
+  void (*exp_m1_shifted)(const double*, double*, size_t);
+  double (*sum_exp_shifted)(const double*, size_t, double);
+  double (*dot)(const double*, const double*, size_t);
+  void (*axpy)(double, const double*, double*, size_t);
+  void (*scaled_add)(const double*, double, const double*, double*, size_t);
+  void (*scale)(double*, double, size_t);
+  double (*two_norm)(const double*, size_t);
+  double (*inf_norm)(const double*, size_t);
+  double (*max_val)(const double*, size_t);
+  const char* isa;
+};
+
+constexpr KernelTable kScalarTable = {
+    ExpM1SumInPlaceScalar, ExpM1ShiftedScalar, SumExpShiftedScalar,
+    DotScalar,             AxpyScalar,         ScaledAddScalar,
+    ScaleScalar,           TwoNormScalar,      InfNormScalar,
+    MaxValScalar,          "scalar"};
+
+#if PME_VEC_X86
+constexpr KernelTable kAvx2Table = {
+    ExpM1SumInPlaceAvx2, ExpM1ShiftedAvx2, SumExpShiftedAvx2,
+    DotAvx2,             AxpyAvx2,         ScaledAddAvx2,
+    ScaleAvx2,           TwoNormAvx2,      InfNormAvx2,
+    MaxValAvx2,          "avx2+fma"};
+#endif
+
+SimdMode g_mode = SimdMode::kAuto;
+const KernelTable* g_active = &kScalarTable;
+
+bool CpuHasAvx2() {
+#if PME_VEC_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+void ApplyDispatch() {
+#if PME_VEC_X86
+  if (g_mode == SimdMode::kAuto && CpuHasAvx2()) {
+    g_active = &kAvx2Table;
+    return;
+  }
+#endif
+  g_active = &kScalarTable;
+}
+
+/// Selects the dispatch table before main() runs; SetSimdMode re-selects.
+struct DispatchInit {
+  DispatchInit() { ApplyDispatch(); }
+};
+const DispatchInit g_dispatch_init;
+
+}  // namespace
+
+void SetSimdMode(SimdMode mode) {
+  g_mode = mode;
+  ApplyDispatch();
+}
+
+SimdMode GetSimdMode() { return g_mode; }
+
+SimdMode ParseSimdMode(const std::string& value) {
+  std::string lower(value.size(), '\0');
+  for (size_t i = 0; i < value.size(); ++i) {
+    lower[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(value[i])));
+  }
+  if (lower == "off" || lower == "scalar") return SimdMode::kOff;
+  if (!lower.empty() && lower != "auto") {
+    // The flag exists to force the scalar baseline in A/B runs; a typo
+    // silently measuring the SIMD path twice would corrupt the
+    // comparison, so say something.
+    std::fprintf(stderr,
+                 "warning: unknown --simd value '%s', using 'auto'\n",
+                 value.c_str());
+  }
+  return SimdMode::kAuto;
+}
+
+const char* ActiveIsa() { return g_active->isa; }
+
+bool SimdActive() { return g_active != &kScalarTable; }
+
+bool Avx2Supported() { return CpuHasAvx2(); }
+
+void ExpM1Shifted(ConstSpan x, Span y) {
+  assert(x.size == y.size);
+  g_active->exp_m1_shifted(x.data, y.data, x.size);
+}
+
+double ExpM1SumInPlace(Span x) {
+  return g_active->exp_m1_sum_inplace(x.data, x.size);
+}
+
+double SumExpShifted(ConstSpan x, double shift) {
+  return g_active->sum_exp_shifted(x.data, x.size, shift);
+}
+
+double Dot(ConstSpan a, ConstSpan b) {
+  assert(a.size == b.size);
+  return g_active->dot(a.data, b.data, a.size);
+}
+
+void Axpy(double alpha, ConstSpan x, Span y) {
+  assert(x.size == y.size);
+  g_active->axpy(alpha, x.data, y.data, x.size);
+}
+
+void ScaledAdd(ConstSpan a, double s, ConstSpan d, Span out) {
+  assert(a.size == d.size && a.size == out.size);
+  g_active->scaled_add(a.data, s, d.data, out.data, a.size);
+}
+
+void Scale(Span v, double s) { g_active->scale(v.data, s, v.size); }
+
+double TwoNorm(ConstSpan v) { return g_active->two_norm(v.data, v.size); }
+
+double InfNorm(ConstSpan v) { return g_active->inf_norm(v.data, v.size); }
+
+double MaxVal(ConstSpan v) { return g_active->max_val(v.data, v.size); }
+
+double NegXLogXSum(ConstSpan v) {
+  // Entropy runs once per solve, not once per dual iteration; a branchy
+  // scalar loop is fine on every ISA (vectorizing ln is not worth the
+  // polynomial here).
+  double h = 0.0;
+  for (size_t i = 0; i < v.size; ++i) {
+    const double x = v.data[i];
+    if (x > 0.0) h -= x * std::log(x);
+  }
+  return h;
+}
+
+}  // namespace pme::kernels

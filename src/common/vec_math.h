@@ -1,0 +1,117 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_COMMON_VEC_MATH_H_
+#define PME_COMMON_VEC_MATH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pme::kernels {
+
+/// Non-owning view of a mutable double buffer. The kernel layer works on
+/// raw (pointer, size) pairs so the hot loops — CSR products, the fused
+/// exp-sum of the dual evaluation, line-search probes — perform no
+/// per-call bounds logic or container indirection.
+struct Span {
+  double* data = nullptr;
+  size_t size = 0;
+
+  Span() = default;
+  Span(double* d, size_t n) : data(d), size(n) {}
+  Span(std::vector<double>& v) : data(v.data()), size(v.size()) {}  // NOLINT
+};
+
+/// Non-owning read-only view; implicitly constructible from Span and
+/// std::vector<double> so call sites stay terse.
+struct ConstSpan {
+  const double* data = nullptr;
+  size_t size = 0;
+
+  ConstSpan() = default;
+  ConstSpan(const double* d, size_t n) : data(d), size(n) {}
+  ConstSpan(const std::vector<double>& v)  // NOLINT
+      : data(v.data()), size(v.size()) {}
+  ConstSpan(Span s) : data(s.data), size(s.size) {}  // NOLINT
+};
+
+/// SIMD dispatch policy. The fastest implementation the CPU supports is
+/// selected once at startup; `kOff` forces the portable scalar path (the
+/// `--simd=off` A/B-benching and parity-testing mode).
+enum class SimdMode {
+  kAuto = 0,  ///< use AVX2+FMA when the CPU has it, scalar otherwise
+  kOff = 1,   ///< portable scalar kernels only
+};
+
+/// Re-runs kernel dispatch under the given policy. Not thread-safe
+/// against concurrent kernel calls: set the mode at startup (flag
+/// parsing), before any solver runs.
+void SetSimdMode(SimdMode mode);
+
+/// The currently requested policy.
+SimdMode GetSimdMode();
+
+/// Parses a `--simd` flag value: "off" selects SimdMode::kOff, anything
+/// else (including "auto") selects kAuto.
+SimdMode ParseSimdMode(const std::string& value);
+
+/// Name of the instruction set behind the active dispatch table:
+/// "avx2+fma" or "scalar".
+const char* ActiveIsa();
+
+/// True when a vectorized (non-scalar) dispatch table is active.
+bool SimdActive();
+
+/// True when this binary and CPU can run the AVX2+FMA kernels at all,
+/// regardless of the current mode (used by parity tests to decide whether
+/// the two paths genuinely differ).
+bool Avx2Supported();
+
+// ---------------------------------------------------------------------------
+// Kernels. All follow SafeExp clamping semantics where exponentials are
+// involved: exponents are clamped to [-708, 708] so results stay finite
+// and normal. Sizes are asserted, never checked at runtime in release.
+// ---------------------------------------------------------------------------
+
+/// y_i = exp(x_i - 1), the batched primal map p(λ) = exp(Aᵀλ − 1).
+void ExpM1Shifted(ConstSpan x, Span y);
+
+/// Fused exp + horizontal accumulate: x_i <- exp(x_i - 1) in place and
+/// the sum Σ_i exp(x_i - 1) is returned. This is the dual objective's
+/// single pass over the primal buffer.
+double ExpM1SumInPlace(Span x);
+
+/// Σ_i exp(x_i - shift) without storing the terms (LogSumExp's second
+/// pass; `shift` is the max element).
+double SumExpShifted(ConstSpan x, double shift);
+
+/// Dot product aᵀb.
+double Dot(ConstSpan a, ConstSpan b);
+
+/// y += alpha * x.
+void Axpy(double alpha, ConstSpan x, Span y);
+
+/// out_i = a_i + s * d_i — the line-search probe update λ + t·direction,
+/// writing a separate trial buffer.
+void ScaledAdd(ConstSpan a, double s, ConstSpan d, Span out);
+
+/// v *= s.
+void Scale(Span v, double s);
+
+/// Euclidean norm.
+double TwoNorm(ConstSpan v);
+
+/// max_i |v_i| (0 for empty input).
+double InfNorm(ConstSpan v);
+
+/// max_i v_i (-inf for empty input).
+double MaxVal(ConstSpan v);
+
+/// -Σ_i v_i ln v_i with the 0·ln 0 = 0 convention (entropy accumulation;
+/// scalar on every ISA — it runs once per solve, not once per iteration).
+double NegXLogXSum(ConstSpan v);
+
+}  // namespace pme::kernels
+
+#endif  // PME_COMMON_VEC_MATH_H_

@@ -2,34 +2,49 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace pme::constraints {
 
-TermIndex TermIndex::Build(const anonymize::BucketizedTable& table) {
+TermIndex TermIndex::Build(const anonymize::BucketizedTable& table,
+                           size_t threads) {
   TermIndex index;
   const size_t m = table.num_buckets();
   index.bucket_qi_.resize(m);
   index.bucket_sa_.resize(m);
   index.bucket_offsets_.assign(m + 1, 0);
 
-  for (uint32_t b = 0; b < m; ++b) {
-    for (const auto& [q, cnt] : table.BucketQiCounts(b)) {
-      index.bucket_qi_[b].push_back(q);
-    }
-    for (const auto& [s, cnt] : table.BucketSaCounts(b)) {
-      index.bucket_sa_[b].push_back(s);
-    }
+  // Phase 1 (parallel): per-bucket distinct instance lists. Each bucket
+  // writes only its own slots; bucket_offsets_[b + 1] temporarily holds
+  // the bucket's term count.
+  const size_t workers = ThreadPool::ResolveThreads(threads);
+  ThreadPool::ParallelFor(workers, m, [&](size_t b) {
+    auto& qis = index.bucket_qi_[b];
+    auto& sas = index.bucket_sa_[b];
+    for (const auto& [q, cnt] : table.BucketQiCounts(b)) qis.push_back(q);
+    for (const auto& [s, cnt] : table.BucketSaCounts(b)) sas.push_back(s);
     // std::map iteration is already sorted; keep the contract explicit.
-    std::sort(index.bucket_qi_[b].begin(), index.bucket_qi_[b].end());
-    std::sort(index.bucket_sa_[b].begin(), index.bucket_sa_[b].end());
+    std::sort(qis.begin(), qis.end());
+    std::sort(sas.begin(), sas.end());
+    index.bucket_offsets_[b + 1] =
+        static_cast<uint32_t>(qis.size() * sas.size());
+  });
 
-    index.bucket_offsets_[b] = static_cast<uint32_t>(index.terms_.size());
+  // Phase 2 (serial): counts -> offsets by prefix sum.
+  for (size_t b = 0; b < m; ++b) {
+    index.bucket_offsets_[b + 1] += index.bucket_offsets_[b];
+  }
+
+  // Phase 3 (parallel): materialize terms into disjoint slices.
+  index.terms_.resize(index.bucket_offsets_[m]);
+  ThreadPool::ParallelFor(workers, m, [&](size_t b) {
+    size_t k = index.bucket_offsets_[b];
     for (uint32_t q : index.bucket_qi_[b]) {
       for (uint32_t s : index.bucket_sa_[b]) {
-        index.terms_.push_back(Term{q, s, b});
+        index.terms_[k++] = Term{q, s, static_cast<uint32_t>(b)};
       }
     }
-  }
-  index.bucket_offsets_[m] = static_cast<uint32_t>(index.terms_.size());
+  });
   return index;
 }
 

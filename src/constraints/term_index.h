@@ -42,7 +42,14 @@ struct Term {
 class TermIndex {
  public:
   /// Builds the index for `table` (which must outlive the index).
-  static TermIndex Build(const anonymize::BucketizedTable& table);
+  ///
+  /// With `threads > 1` (or 0 = hardware concurrency) construction is
+  /// sharded across common::ThreadPool: the per-bucket distinct lists
+  /// are built in parallel, bucket offsets follow by prefix sum, and the
+  /// term array is filled in parallel into disjoint slices. The result
+  /// is byte-identical to the serial build for any thread count.
+  static TermIndex Build(const anonymize::BucketizedTable& table,
+                         size_t threads = 1);
 
   /// Number of materialized variables.
   size_t num_variables() const { return terms_.size(); }

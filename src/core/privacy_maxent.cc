@@ -17,7 +17,10 @@ Result<Analysis> Analyze(const anonymize::BucketizedTable& table,
         "IndividualModel (core/individual_model.h)");
   }
 
-  const constraints::TermIndex index = constraints::TermIndex::Build(table);
+  // Index construction is itself sharded across the solver's pool so the
+  // front of every analysis scales with --threads, not just the solve.
+  const constraints::TermIndex index =
+      constraints::TermIndex::Build(table, options.solver_options.threads);
   constraints::ConstraintSystem system(index.num_variables());
   system.AddAll(constraints::GenerateInvariants(table, index,
                                                 options.invariant_options));

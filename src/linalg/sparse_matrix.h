@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/vec_math.h"
 
 namespace pme::linalg {
 
@@ -49,6 +50,21 @@ class SparseMatrix {
   /// y = A^T x. `x.size()` must equal `rows()`; `y` is resized to `cols()`.
   void TransposeMultiply(const std::vector<double>& x,
                          std::vector<double>& y) const;
+
+  /// y = A x into a pre-sized buffer (`x.size == cols()`, `y.size ==
+  /// rows()`). The dual hot path: no resize, no per-call bounds logic —
+  /// a single unrolled, prefetch-friendly pass over the CSR arrays.
+  void MultiplyInto(kernels::ConstSpan x, kernels::Span y) const;
+
+  /// Fused gradient pass y = A x − b (`b.size == y.size == rows()`): the
+  /// row product and the RHS subtraction in one sweep, saving a second
+  /// pass over the gradient vector per dual evaluation.
+  void MultiplyMinusInto(kernels::ConstSpan x, kernels::ConstSpan b,
+                         kernels::Span y) const;
+
+  /// y = A^T x into a pre-sized buffer (`x.size == rows()`, `y.size ==
+  /// cols()`).
+  void TransposeMultiplyInto(kernels::ConstSpan x, kernels::Span y) const;
 
   /// y += alpha * A^T x (no reallocation; `y.size()` must equal `cols()`).
   void TransposeMultiplyAccumulate(double alpha, const std::vector<double>& x,

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/vec_math.h"
 #include "linalg/dense_matrix.h"
 #include "maxent/solvers_internal.h"
 
@@ -20,12 +21,9 @@ bool ArmijoStep(const DualFunction& dual, const std::vector<double>& direction,
                 std::vector<double>* grad, std::vector<double>* trial,
                 std::vector<double>* trial_grad, DualWorkspace* ws) {
   const double c1 = 1e-4;
-  const size_t m = lambda->size();
   double step = 1.0;
   for (size_t ls = 0; ls < max_steps; ++ls) {
-    for (size_t j = 0; j < m; ++j) {
-      (*trial)[j] = (*lambda)[j] + step * direction[j];
-    }
+    kernels::ScaledAdd(*lambda, step, direction, *trial);
     const double trial_value = dual.EvaluateInto(*trial, trial_grad, ws);
     if (std::isfinite(trial_value) &&
         trial_value <= *value + c1 * step * dir_dot_grad) {
@@ -54,6 +52,7 @@ Result<DualOutcome> MinimizeSteepest(const DualFunction& dual,
   std::vector<double> grad(m);
   double value = dual.EvaluateInto(out.lambda, &grad, &ws);
   std::vector<double> direction(m), trial(m), trial_grad(m);
+  StallDetector stall(options.ftol, options.max_stall_iterations);
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     out.grad_inf = InfNorm(grad);
@@ -65,12 +64,14 @@ Result<DualOutcome> MinimizeSteepest(const DualFunction& dual,
     }
     for (size_t j = 0; j < m; ++j) direction[j] = -grad[j];
     const double dir_dot_grad = -Dot(grad, grad);
+    const double prev_value = value;
     if (!ArmijoStep(dual, direction, dir_dot_grad,
                     options.max_line_search_steps, &out.lambda, &value, &grad,
                     &trial, &trial_grad, &ws)) {
       break;  // stalled at numerical precision
     }
     out.iterations = iter + 1;
+    if (stall.Update(prev_value, value)) break;
   }
   out.dual_value = value;
   out.grad_inf = InfNorm(grad);

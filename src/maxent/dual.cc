@@ -2,7 +2,7 @@
 
 #include <cassert>
 
-#include "common/math_util.h"
+#include "common/vec_math.h"
 
 namespace pme::maxent {
 
@@ -28,19 +28,17 @@ double DualFunction::EvaluateInto(const std::vector<double>& lambda,
                                   DualWorkspace* ws) const {
   assert(ws != nullptr);
   assert(lambda.size() == dim());
-  // p <- Aᵀλ, then p <- exp(p − 1) in place (single buffer, no `t`).
+  // p <- Aᵀλ, then one fused exp-sum kernel pass turns the exponents into
+  // the primal iterate and its total in place (single buffer, no `t`).
   if (ws->p.size() != num_vars()) ws->p.resize(num_vars());
-  a_->TransposeMultiply(lambda, ws->p);
-  double sum_p = 0.0;
-  for (double& v : ws->p) {
-    v = SafeExp(v - 1.0);
-    sum_p += v;
-  }
-  const double value = sum_p - Dot(*b_, lambda);
+  a_->TransposeMultiplyInto(kernels::ConstSpan(lambda), kernels::Span(ws->p));
+  const double sum_p = kernels::ExpM1SumInPlace(kernels::Span(ws->p));
+  const double value = sum_p - kernels::Dot(*b_, lambda);
   if (grad != nullptr) {
     if (grad->size() != dim()) grad->resize(dim());
-    a_->Multiply(ws->p, *grad);
-    for (size_t j = 0; j < grad->size(); ++j) (*grad)[j] -= (*b_)[j];
+    // Fused CSR pass: ∇D = A p − b in a single sweep.
+    a_->MultiplyMinusInto(kernels::ConstSpan(ws->p), kernels::ConstSpan(*b_),
+                          kernels::Span(*grad));
   }
   return value;
 }

@@ -2,6 +2,7 @@
 #include <deque>
 
 #include "common/math_util.h"
+#include "common/vec_math.h"
 #include "maxent/solvers_internal.h"
 
 namespace pme::maxent::internal {
@@ -16,12 +17,9 @@ bool Backtrack(const DualFunction& dual, const std::vector<double>& direction,
                std::vector<double>* grad, std::vector<double>* scratch_lambda,
                std::vector<double>* scratch_grad, DualWorkspace* ws) {
   const double c1 = 1e-4;
-  const size_t m = lambda->size();
   double step = initial_step;
   for (size_t ls = 0; ls < max_steps; ++ls) {
-    for (size_t j = 0; j < m; ++j) {
-      (*scratch_lambda)[j] = (*lambda)[j] + step * direction[j];
-    }
+    kernels::ScaledAdd(*lambda, step, direction, *scratch_lambda);
     const double trial_value =
         dual.EvaluateInto(*scratch_lambda, scratch_grad, ws);
     if (std::isfinite(trial_value) &&
@@ -61,6 +59,8 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
   std::vector<double> alpha(options.lbfgs_history, 0.0);
   // Retired history buffers, recycled so steady state allocates nothing.
   std::vector<double> s_spare, y_spare;
+  StallDetector stall(options.ftol, options.max_stall_iterations);
+  bool restarted_after_stall = false;
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     out.grad_inf = InfNorm(grad);
@@ -82,13 +82,13 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
       const auto& s = s_hist.back();
       const auto& y = y_hist.back();
       const double gamma = Dot(s, y) / Dot(y, y);
-      for (double& d : direction) d *= gamma;
+      kernels::Scale(direction, gamma);
     }
     for (size_t i = 0; i < s_hist.size(); ++i) {
       const double beta = rho_hist[i] * Dot(y_hist[i], direction);
       Axpy(alpha[i] - beta, s_hist[i], direction);
     }
-    for (double& d : direction) d = -d;
+    kernels::Scale(direction, -1.0);
 
     double dir_dot_grad = Dot(direction, grad);
     if (dir_dot_grad >= 0.0) {
@@ -103,6 +103,7 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
 
     prev_lambda = out.lambda;
     prev_grad = grad;
+    const double prev_value = value;
 
     bool accepted =
         Backtrack(dual, direction, dir_dot_grad, 1.0,
@@ -125,6 +126,29 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
     if (!accepted) {
       // Even steepest descent cannot improve: the iterate is at numerical
       // precision for this problem.
+      out.iterations = iter + 1;
+      out.dual_value = value;
+      out.grad_inf = InfNorm(grad);
+      out.converged = out.grad_inf <= options.tolerance;
+      return out;
+    }
+
+    // Accepted, but did the dual value actually move? A run of
+    // rounding-noise steps means this curvature memory is exhausted.
+    // One restart from clean steepest descent sometimes escapes the
+    // plateau; a second stall run means numerical precision is reached.
+    if (stall.Update(prev_value, value)) {
+      if (!restarted_after_stall && !s_hist.empty()) {
+        restarted_after_stall = true;
+        stall.Reset();
+        s_hist.clear();
+        y_hist.clear();
+        rho_hist.clear();
+        // Skip the history update below: pushing the stalled step's noise
+        // (s, y) pair would undo the restart before it begins.
+        out.iterations = iter + 1;
+        continue;
+      }
       out.iterations = iter + 1;
       out.dual_value = value;
       out.grad_inf = InfNorm(grad);

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/vec_math.h"
 #include "maxent/solvers_internal.h"
 
 namespace pme::maxent::internal {
@@ -56,6 +57,7 @@ Result<DualOutcome> MinimizeProjected(const DualFunction& dual, size_t num_eq,
   double bb_step = 1.0;
 
   std::vector<double> trial(m), trial_grad(m);
+  StallDetector stall(options.ftol, options.max_stall_iterations);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     out.grad_inf = ProjectedGradInf(out.lambda, grad, num_eq);
     out.iterations = iter;
@@ -87,10 +89,10 @@ Result<DualOutcome> MinimizeProjected(const DualFunction& dual, size_t num_eq,
     bool accepted = false;
     double accepted_value = value;
     for (size_t ls = 0; ls < options.max_line_search_steps; ++ls) {
-      for (size_t j = 0; j < m; ++j) {
-        trial[j] = out.lambda[j] - step * grad[j];
-      }
+      kernels::ScaledAdd(out.lambda, -step, grad, trial);
       Project(num_eq, &trial);
+      // Differences first, then the dot: the fused form stays accurate
+      // when trial − λ is tiny (a two-dot difference would cancel).
       double decrease_model = 0.0;
       for (size_t j = 0; j < m; ++j) {
         decrease_model += grad[j] * (trial[j] - out.lambda[j]);
@@ -108,8 +110,10 @@ Result<DualOutcome> MinimizeProjected(const DualFunction& dual, size_t num_eq,
 
     out.lambda.swap(trial);
     grad.swap(trial_grad);
+    const double prev_value = value;
     value = accepted_value;
     out.iterations = iter + 1;
+    if (stall.Update(prev_value, value)) break;
   }
   out.dual_value = value;
   out.grad_inf = ProjectedGradInf(out.lambda, grad, num_eq);

@@ -40,6 +40,15 @@ struct SolverOptions {
   size_t lbfgs_history = 10;
   /// Backtracking line-search step budget.
   size_t max_line_search_steps = 60;
+  /// Relative dual-value progress below which an accepted step counts as
+  /// stalled: improvement <= ftol * (|D| + 1). Near numerical precision
+  /// the Armijo test keeps accepting rounding-noise improvements; the
+  /// stall counter turns that into a clean exit instead of burning the
+  /// whole iteration budget a few ulps above the tolerance.
+  double ftol = 1e-15;
+  /// Consecutive stalled-but-accepted steps before the solve stops with
+  /// the current iterate (converged iff the tolerance was already met).
+  size_t max_stall_iterations = 50;
   /// Diagonal regularization for the Newton solver's Hessian.
   double newton_jitter = 1e-9;
   /// Run the structural presolve (zero forcing / singleton substitution)
@@ -53,6 +62,13 @@ struct SolverOptions {
   /// 0 = hardware concurrency. Results are identical for any value — the
   /// per-block solves and the scatter order are deterministic.
   size_t threads = 1;
+  /// SolveDecomposed falls back to the monolithic Solve when the largest
+  /// knowledge-coupled component covers more than this fraction of all
+  /// variables: the decomposition would pay the full-matrix build plus a
+  /// near-full Submatrix copy (measured 10-40% overhead in the K >= 256
+  /// ablation) for no block-level parallelism. Set above 1.0 to always
+  /// decompose.
+  double monolithic_fallback_fraction = 0.8;
 };
 
 /// Outcome of a MaxEnt solve.
@@ -74,6 +90,9 @@ struct SolverResult {
   bool converged = false;
   /// Variables eliminated by presolve.
   size_t presolve_fixed = 0;
+  /// True when SolveDecomposed routed this problem to the monolithic
+  /// Solve because one coupled component dominated the variable space.
+  bool used_monolithic_fallback = false;
   /// Which solver produced this result.
   SolverKind kind = SolverKind::kLbfgs;
 };

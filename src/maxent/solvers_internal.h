@@ -6,6 +6,8 @@
 #ifndef PME_MAXENT_SOLVERS_INTERNAL_H_
 #define PME_MAXENT_SOLVERS_INTERNAL_H_
 
+#include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include "common/status.h"
@@ -13,6 +15,33 @@
 #include "maxent/solver.h"
 
 namespace pme::maxent::internal {
+
+/// Detects runs of accepted-but-worthless line-search steps: near the
+/// numerical floor the Armijo test keeps accepting rounding-noise
+/// improvements, and without a cutoff a solve sitting a few ulps above
+/// the gradient tolerance burns its whole iteration budget. Shared by
+/// every line-search minimizer so the criterion cannot drift.
+class StallDetector {
+ public:
+  StallDetector(double ftol, size_t limit) : ftol_(ftol), limit_(limit) {}
+
+  /// Records one accepted step; true when `limit` consecutive steps each
+  /// improved the dual by no more than ftol * (|value| + 1).
+  bool Update(double prev_value, double value) {
+    if (prev_value - value <= ftol_ * (std::fabs(value) + 1.0)) {
+      return ++stalled_ >= limit_;
+    }
+    stalled_ = 0;
+    return false;
+  }
+
+  void Reset() { stalled_ = 0; }
+
+ private:
+  double ftol_;
+  size_t limit_;
+  size_t stalled_ = 0;
+};
 
 /// Result of minimizing the dual.
 struct DualOutcome {

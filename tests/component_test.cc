@@ -9,6 +9,7 @@
 
 #include "common/math_util.h"
 #include "common/prng.h"
+#include "common/vec_math.h"
 #include "constraints/bk_compiler.h"
 #include "constraints/component_analysis.h"
 #include "constraints/invariants.h"
@@ -265,6 +266,138 @@ TEST(SolveDecomposedTest, ThreadCountDoesNotChangeThePosterior) {
   }
   EXPECT_EQ(a.iterations, b.iterations);
   EXPECT_EQ(a.entropy, b.entropy);
+}
+
+// ------------------------------------------------- Monolithic fallback
+
+/// Couples every bucket of the Figure 1 table into one component. The
+/// statements are chosen so their *materialized* support really spans
+/// buckets (a conditional whose SA occurs in only one of the QI's
+/// buckets collapses to a single-bucket constraint after invariant
+/// substitution): P(s3 | q1) touches buckets 1-2, and P({s1, s2} | q2)
+/// touches buckets 1 and 3.
+ConstraintSystem FullyCoupledSystem(const BucketizedTable& t,
+                                    const TermIndex& index) {
+  auto system = InvariantSystem(t, index);
+  AddConditional(t, index, &system, pme::testing::kQ1, kS3,
+                 t.TrueConditional(pme::testing::kQ1, kS3));
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::AbstractConditional(
+      pme::testing::kQ2, {kS1, pme::testing::kS2}, 0.5));
+  auto compiled = constraints::CompileKnowledge(kb, t, index).ValueOrDie();
+  system.AddAll(std::move(compiled.constraints));
+  return system;
+}
+
+TEST(SolveDecomposedTest, FullyCoupledSystemFallsBackToMonolithicSolve) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = FullyCoupledSystem(t, index);
+
+  // Sanity: the knowledge really does couple the whole variable space.
+  auto stats = maxent::AnalyzeDecomposition(index, system);
+  EXPECT_EQ(stats.relevant_variables, stats.total_variables);
+
+  auto decomposed = maxent::SolveDecomposed(t, index, system).ValueOrDie();
+  EXPECT_TRUE(decomposed.used_monolithic_fallback);
+
+  // The fallback literally runs Solve on the original system, so the
+  // posterior matches the monolithic result exactly.
+  auto problem = maxent::BuildProblem(system).ValueOrDie();
+  auto mono = maxent::Solve(problem).ValueOrDie();
+  ASSERT_EQ(decomposed.p.size(), mono.p.size());
+  for (size_t i = 0; i < mono.p.size(); ++i) {
+    EXPECT_EQ(decomposed.p[i], mono.p[i]) << index.TermName(i, t);
+  }
+}
+
+TEST(SolveDecomposedTest, FallbackThresholdAboveOneAlwaysDecomposes) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = FullyCoupledSystem(t, index);
+
+  maxent::SolverOptions options;
+  options.monolithic_fallback_fraction = 1.5;  // disabled
+  auto decomposed =
+      maxent::SolveDecomposed(t, index, system, maxent::SolverKind::kLbfgs,
+                              options)
+          .ValueOrDie();
+  EXPECT_FALSE(decomposed.used_monolithic_fallback);
+
+  // Decomposed or not, the answer is the same distribution.
+  auto problem = maxent::BuildProblem(system).ValueOrDie();
+  auto mono = maxent::Solve(problem).ValueOrDie();
+  for (size_t i = 0; i < mono.p.size(); ++i) {
+    EXPECT_NEAR(decomposed.p[i], mono.p[i], 1e-6) << index.TermName(i, t);
+  }
+}
+
+TEST(SolveDecomposedTest, SparseKnowledgeStaysDecomposed) {
+  // One conditional touching a single bucket: the largest coupled
+  // component is far below the threshold, so no fallback.
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  AddConditional(t, index, &system, kQ5, kS5, 0.8);
+  auto decomposed = maxent::SolveDecomposed(t, index, system).ValueOrDie();
+  EXPECT_FALSE(decomposed.used_monolithic_fallback);
+}
+
+// ----------------------------------------------- SIMD dispatch parity
+
+TEST(SolveDecomposedTest, SimdOffAndAutoPosteriorsAgree) {
+  // Tightly converged solves are where the 1e-10 parity claim is
+  // meaningful: with both dispatch paths driving the residual to 1e-12,
+  // the remaining posterior difference is pure kernel rounding. (At the
+  // default 1e-8 tolerance each mode may stop at a different iterate
+  // within tolerance of the optimum — that difference is solver slack,
+  // not kernel error; the integration suite covers it separately.)
+  auto saved = kernels::GetSimdMode();
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = FullyCoupledSystem(t, index);
+  maxent::SolverOptions options;
+  options.tolerance = 1e-12;
+  options.monolithic_fallback_fraction = 1.5;  // exercise the block path
+
+  kernels::SetSimdMode(kernels::SimdMode::kOff);
+  auto off = maxent::SolveDecomposed(t, index, system,
+                                     maxent::SolverKind::kLbfgs, options)
+                 .ValueOrDie();
+  kernels::SetSimdMode(kernels::SimdMode::kAuto);
+  auto vec = maxent::SolveDecomposed(t, index, system,
+                                     maxent::SolverKind::kLbfgs, options)
+                 .ValueOrDie();
+  kernels::SetSimdMode(saved);
+
+  EXPECT_TRUE(off.converged);
+  EXPECT_TRUE(vec.converged);
+  ASSERT_EQ(off.p.size(), vec.p.size());
+  for (size_t i = 0; i < off.p.size(); ++i) {
+    EXPECT_NEAR(off.p[i], vec.p[i], 1e-10) << index.TermName(i, t);
+  }
+}
+
+// ------------------------------------------------ Sharded TermIndex build
+
+TEST(TermIndexBuildTest, ParallelBuildIsByteIdenticalToSerial) {
+  for (int seed = 1; seed <= 3; ++seed) {
+    auto t = RandomTable(64, 4, 40, 8, seed);
+    const TermIndex serial = TermIndex::Build(t, 1);
+    for (size_t threads : {2, 4, 8}) {
+      const TermIndex sharded = TermIndex::Build(t, threads);
+      ASSERT_EQ(sharded.num_variables(), serial.num_variables());
+      ASSERT_EQ(sharded.num_buckets(), serial.num_buckets());
+      for (uint32_t b = 0; b < serial.num_buckets(); ++b) {
+        EXPECT_EQ(sharded.BucketRange(b), serial.BucketRange(b));
+        EXPECT_EQ(sharded.BucketQiList(b), serial.BucketQiList(b));
+        EXPECT_EQ(sharded.BucketSaList(b), serial.BucketSaList(b));
+      }
+      for (uint32_t v = 0; v < serial.num_variables(); ++v) {
+        EXPECT_TRUE(sharded.TermOf(v) == serial.TermOf(v)) << "var " << v;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "anonymize/diversity.h"
+#include "common/vec_math.h"
 #include "core/experiment.h"
 #include "knowledge/miner.h"
 
@@ -116,6 +117,31 @@ TEST_F(PipelineTest, FullPipelineDeterminism) {
   auto r1 = AnalyzeWithRules(a, top).ValueOrDie();
   auto r2 = AnalyzeWithRules(a, top).ValueOrDie();
   EXPECT_DOUBLE_EQ(r1.estimation_accuracy, r2.estimation_accuracy);
+}
+
+TEST_F(PipelineTest, SimdOffAndAutoAgreeEndToEnd) {
+  // `--simd=off` must reproduce the vectorized pipeline: both solves
+  // converge, and their posteriors agree to solver-tolerance order
+  // (each run stops at ‖∇D‖∞ ≤ 1e-8, so the two optima can differ by
+  // that much — kernel rounding itself is far below it).
+  const auto saved = kernels::GetSimdMode();
+  auto top = knowledge::TopK(pipeline_->rules, 20, 20);
+  kernels::SetSimdMode(kernels::SimdMode::kOff);
+  auto off = AnalyzeWithRules(*pipeline_, top).ValueOrDie();
+  kernels::SetSimdMode(kernels::SimdMode::kAuto);
+  auto vec = AnalyzeWithRules(*pipeline_, top).ValueOrDie();
+  kernels::SetSimdMode(saved);
+
+  EXPECT_TRUE(off.solver.converged);
+  EXPECT_TRUE(vec.solver.converged);
+  ASSERT_EQ(off.solver.p.size(), vec.solver.p.size());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < off.solver.p.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::fabs(off.solver.p[i] - vec.solver.p[i]));
+  }
+  EXPECT_LE(max_diff, 1e-6);
+  EXPECT_NEAR(off.estimation_accuracy, vec.estimation_accuracy, 1e-6);
 }
 
 TEST(CsvWriterTest, WritesHeaderAndRows) {

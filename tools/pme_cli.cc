@@ -24,6 +24,7 @@
 #include "anonymize/bucketized_table.h"
 #include "common/flags.h"
 #include "common/string_util.h"
+#include "common/vec_math.h"
 #include "core/privacy_maxent.h"
 #include "core/report.h"
 #include "data/adult_synth.h"
@@ -42,7 +43,7 @@ int Usage() {
                "  analyze  --data=FILE --sensitive=ATTR [--ell=L]\n"
                "           [--knowledge=FILE] [--solver=lbfgs|gis|iis|"
                "steepest|newton]\n"
-               "           [--threads=N] [--report=FILE] "
+               "           [--threads=N] [--simd=auto|off] [--report=FILE] "
                "[--posterior=FILE]\n");
   return 2;
 }
@@ -154,6 +155,10 @@ int RunAnalyze(const pme::Flags& flags) {
   // any value.
   options.solver_options.threads =
       static_cast<size_t>(flags.GetInt("threads", 1));
+  // Kernel dispatch: auto picks AVX2+FMA when available; off forces the
+  // portable scalar path (posteriors agree to ~1e-10 either way).
+  pme::kernels::SetSimdMode(
+      pme::kernels::ParseSimdMode(flags.GetString("simd", "auto")));
 
   auto analysis = pme::core::Analyze(bz.value().table, kb, options,
                                      &bz.value().qi_encoder);
