@@ -1,0 +1,50 @@
+#include "common/deadline.h"
+
+#include <limits>
+
+#include "common/failpoint.h"
+
+namespace pme {
+
+Deadline Deadline::AfterSeconds(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  return At(Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds)));
+}
+
+Deadline Deadline::At(Clock::time_point when) {
+  Deadline d;
+  d.infinite_ = false;
+  d.when_ = when;
+  return d;
+}
+
+Deadline Deadline::Earlier(const Deadline& a, const Deadline& b) {
+  if (a.infinite_) return b;
+  if (b.infinite_) return a;
+  return a.when_ <= b.when_ ? a : b;
+}
+
+bool Deadline::Expired() const {
+  if (infinite_) return false;
+  if (PME_FAILPOINT("deadline_skip")) return true;
+  return Clock::now() >= when_;
+}
+
+double Deadline::RemainingSeconds() const {
+  if (infinite_) return std::numeric_limits<double>::infinity();
+  if (PME_FAILPOINT("deadline_skip")) return 0.0;
+  const double remaining =
+      std::chrono::duration<double>(when_ - Clock::now()).count();
+  return remaining > 0.0 ? remaining : 0.0;
+}
+
+StatusCode CheckInterrupt(const Deadline& deadline,
+                          const CancellationToken& cancel) {
+  if (cancel.cancelled()) return StatusCode::kCancelled;
+  if (deadline.Expired()) return StatusCode::kDeadlineExceeded;
+  return StatusCode::kOk;
+}
+
+}  // namespace pme

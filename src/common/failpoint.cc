@@ -1,0 +1,152 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace pme::failpoint {
+namespace {
+
+struct Trigger {
+  /// 1-based hit index to fire at; 0 means "every hit".
+  size_t fire_at = 0;
+  /// With fire_at > 0: keep firing from that hit onward ("@N+").
+  bool onward = false;
+  size_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Trigger, std::less<>> triggers;
+  /// True once Configure/Reset has run (explicitly or from the
+  /// environment); the env var is consulted at most once per process.
+  bool initialized = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Fast path: solvers call Hit() every iteration, so the "nothing
+/// configured" case must not take the lock.
+std::atomic<bool> g_any_active{false};
+
+Status ParseSpec(std::string_view spec,
+                 std::map<std::string, Trigger, std::less<>>* out) {
+  for (const auto& raw : Split(spec, ',')) {
+    const std::string_view entry = Trim(raw);
+    if (entry.empty()) continue;
+    Trigger trigger;
+    std::string_view name = entry;
+    const size_t at = entry.find('@');
+    if (at != std::string_view::npos) {
+      name = entry.substr(0, at);
+      std::string_view count = entry.substr(at + 1);
+      if (!count.empty() && count.back() == '+') {
+        trigger.onward = true;
+        count.remove_suffix(1);
+      }
+      long long n = 0;
+      if (!ParseInt(count, &n) || n < 1) {
+        return Status::InvalidArgument(
+            "failpoint spec '" + std::string(entry) +
+            "': expected name@N or name@N+ with N >= 1");
+      }
+      trigger.fire_at = static_cast<size_t>(n);
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("failpoint spec has an empty name in '" +
+                                     std::string(entry) + "'");
+    }
+    (*out)[std::string(name)] = trigger;
+  }
+  return Status::Ok();
+}
+
+/// Installs the PME_FAILPOINTS environment spec the first time any
+/// failpoint API runs, unless Configure/Reset already ran. Caller holds
+/// the registry lock.
+void MaybeInitFromEnvLocked(Registry& registry) {
+  if (registry.initialized) return;
+  registry.initialized = true;
+  const char* env = std::getenv("PME_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::map<std::string, Trigger, std::less<>> parsed;
+  if (ParseSpec(env, &parsed).ok()) {
+    registry.triggers = std::move(parsed);
+    g_any_active.store(!registry.triggers.empty(),
+                       std::memory_order_release);
+  }
+  // A malformed env spec is silently ignored: fault injection must never
+  // be able to break a production run before it begins.
+}
+
+}  // namespace
+
+Status Configure(std::string_view spec) {
+  std::map<std::string, Trigger, std::less<>> parsed;
+  PME_RETURN_IF_ERROR(ParseSpec(spec, &parsed));
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.initialized = true;
+  registry.triggers = std::move(parsed);
+  g_any_active.store(!registry.triggers.empty(), std::memory_order_release);
+  return Status::Ok();
+}
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.initialized = true;
+  registry.triggers.clear();
+  g_any_active.store(false, std::memory_order_release);
+}
+
+bool Hit(std::string_view name) {
+  if (!g_any_active.load(std::memory_order_acquire)) {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    MaybeInitFromEnvLocked(registry);
+    if (!g_any_active.load(std::memory_order_acquire)) return false;
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.triggers.find(name);
+  if (it == registry.triggers.end()) return false;
+  Trigger& trigger = it->second;
+  ++trigger.hits;
+  if (trigger.fire_at == 0) return true;
+  if (trigger.onward) return trigger.hits >= trigger.fire_at;
+  return trigger.hits == trigger.fire_at;
+}
+
+size_t HitCount(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  MaybeInitFromEnvLocked(registry);
+  auto it = registry.triggers.find(name);
+  return it == registry.triggers.end() ? 0 : it->second.hits;
+}
+
+std::string ActiveSpec() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  MaybeInitFromEnvLocked(registry);
+  std::string out;
+  for (const auto& [name, trigger] : registry.triggers) {
+    if (!out.empty()) out += ',';
+    out += name;
+    if (trigger.fire_at > 0) {
+      out += '@';
+      out += std::to_string(trigger.fire_at);
+      if (trigger.onward) out += '+';
+    }
+  }
+  return out;
+}
+
+}  // namespace pme::failpoint

@@ -1,0 +1,80 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_COMMON_FAILPOINT_H_
+#define PME_COMMON_FAILPOINT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+// Deterministic fault-injection registry, so the recovery paths of the
+// solve pipeline (NaN gradients, spurious non-convergence, pool task
+// exceptions, clock skips) are exercisable in CI instead of waiting for
+// production to find them.
+//
+// A failpoint is a named site in the code, written as
+//
+//   if (PME_FAILPOINT("lbfgs_nan")) { /* inject the fault */ }
+//
+// Sites are inert (one relaxed atomic load) until activated through
+// `failpoint::Configure` or the `PME_FAILPOINTS` environment variable.
+// The spec is a comma-separated list of triggers:
+//
+//   name        fire on every hit of the site
+//   name@N      fire exactly on the Nth hit (1-based)
+//   name@N+     fire on the Nth hit and every hit after it
+//
+// e.g. `PME_FAILPOINTS=lbfgs_nan@3,pool_task_throw@1`. Hit counting is a
+// process-global, per-name counter; with a serial solve (threads == 1)
+// the hit order — and therefore the injected fault — is deterministic.
+//
+// The whole registry is compile-time gated: building with
+// -DPME_FAILPOINTS=OFF (CMake) defines PME_FAILPOINTS_ENABLED=0 and
+// every PME_FAILPOINT expands to the constant `false`, so the branches
+// fold away and release binaries carry no injection code.
+
+#ifndef PME_FAILPOINTS_ENABLED
+#define PME_FAILPOINTS_ENABLED 1
+#endif
+
+#if PME_FAILPOINTS_ENABLED
+#define PME_FAILPOINT(name) (::pme::failpoint::Hit(name))
+#else
+#define PME_FAILPOINT(name) (false)
+#endif
+
+namespace pme::failpoint {
+
+/// True when failpoint support was compiled into this build.
+constexpr bool CompiledIn() { return PME_FAILPOINTS_ENABLED != 0; }
+
+/// Installs the trigger spec described above, replacing any previous
+/// configuration (counters restart at zero). An empty spec deactivates
+/// every site. Returns kInvalidArgument on a malformed spec; the
+/// previous configuration is kept in that case.
+Status Configure(std::string_view spec);
+
+/// Deactivates every failpoint and clears all hit counters. Does not
+/// re-read the environment: once Reset (or Configure) has run, the
+/// PME_FAILPOINTS variable is never consulted again.
+void Reset();
+
+/// Records one hit of the named site and reports whether the configured
+/// trigger fires. The first call of any failpoint API lazily installs
+/// the PME_FAILPOINTS environment spec, so binaries need no explicit
+/// initialization. Inert (false) when nothing is configured.
+bool Hit(std::string_view name);
+
+/// Hits recorded for `name` since the last Configure/Reset. Zero for
+/// sites that are not configured (untracked sites are not counted).
+size_t HitCount(std::string_view name);
+
+/// The currently installed spec, re-rendered (for logs and tests).
+std::string ActiveSpec();
+
+}  // namespace pme::failpoint
+
+#endif  // PME_COMMON_FAILPOINT_H_

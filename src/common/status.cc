@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "not_implemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

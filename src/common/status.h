@@ -37,6 +37,12 @@ enum class StatusCode : int {
   kNotImplemented = 8,
   /// Internal invariant violated; indicates a bug in this library.
   kInternal = 9,
+  /// The operation's wall-clock budget expired before it finished.
+  /// Solvers report this via SolverResult::termination while still
+  /// returning the best iterate reached so far.
+  kDeadlineExceeded = 10,
+  /// The operation was cooperatively cancelled via a CancellationToken.
+  kCancelled = 11,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -91,6 +97,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <utility>
 
 namespace pme {
@@ -32,9 +33,23 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
-void ThreadPool::Wait() {
+Status ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (!task_threw_) return Status::Ok();
+  // Consume the error so the pool is clean for the next batch.
+  std::string what = std::move(first_task_error_);
+  first_task_error_.clear();
+  task_threw_ = false;
+  return Status::Internal("thread pool task threw: " + what);
+}
+
+void ThreadPool::RecordTaskError(const char* what) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!task_threw_) {
+    task_threw_ = true;
+    first_task_error_ = what;
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -48,7 +63,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      RecordTaskError(e.what());
+    } catch (...) {
+      RecordTaskError("non-std::exception");
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();
@@ -62,22 +83,55 @@ size_t ThreadPool::ResolveThreads(size_t requested) {
   return std::max(1u, hw);
 }
 
-void ThreadPool::ParallelFor(size_t num_threads, size_t n,
-                             const std::function<void(size_t)>& fn) {
+Status ThreadPool::ParallelFor(size_t num_threads, size_t n,
+                               const std::function<void(size_t)>& fn) {
   if (num_threads <= 1 || n <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+    // Serial path: same containment as the pooled path — every index is
+    // attempted and the first exception is reported, not rethrown.
+    std::string first_error;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (const std::exception& e) {
+        if (first_error.empty()) first_error = e.what();
+      } catch (...) {
+        if (first_error.empty()) first_error = "non-std::exception";
+      }
+    }
+    if (!first_error.empty()) {
+      return Status::Internal("thread pool task threw: " + first_error);
+    }
+    return Status::Ok();
   }
   ThreadPool pool(std::min(num_threads, n));
   std::atomic<size_t> next{0};
+  // Per-index containment: an exception from fn(i) must not abort the
+  // worker's whole index chunk, so each call is guarded individually and
+  // the first error is reported after the barrier.
+  std::mutex error_mutex;
+  std::string first_error;
+  auto record = [&error_mutex, &first_error](const char* what) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (first_error.empty()) first_error = what;
+  };
   for (size_t w = 0; w < pool.size(); ++w) {
-    pool.Submit([&next, n, &fn] {
+    pool.Submit([&next, n, &fn, &record] {
       for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
+        try {
+          fn(i);
+        } catch (const std::exception& e) {
+          record(e.what());
+        } catch (...) {
+          record("non-std::exception");
+        }
       }
     });
   }
-  pool.Wait();
+  PME_RETURN_IF_ERROR(pool.Wait());
+  if (!first_error.empty()) {
+    return Status::Internal("thread pool task threw: " + first_error);
+  }
+  return Status::Ok();
 }
 
 }  // namespace pme

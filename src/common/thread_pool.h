@@ -9,8 +9,11 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace pme {
 
@@ -20,8 +23,14 @@ namespace pme {
 /// scattered into disjoint output ranges, so determinism comes from the
 /// work items themselves and the pool only supplies concurrency.
 ///
-/// Tasks must not throw; exceptions escaping a task terminate the
-/// process (the library's error channel is Status, never exceptions).
+/// Exception contract: the library's error channel is Status, so tasks
+/// are not expected to throw — but an exception that does escape a task
+/// is captured, not fatal. The worker keeps draining the queue and the
+/// first exception's message is surfaced as a kInternal Status from the
+/// next Wait()/ParallelFor(), after every task has finished. A task
+/// that threw produced no result; callers treat its output slot as
+/// unset (the decomposed solver degrades that component rather than
+/// failing the run).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers. 0 means std::thread::hardware_concurrency
@@ -40,8 +49,12 @@ class ThreadPool {
   /// Enqueues a task. Never blocks (unbounded queue).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
-  void Wait();
+  /// Blocks until every submitted task has finished executing. Returns
+  /// OK, or — when a task let an exception escape — a kInternal Status
+  /// carrying the first such exception's message. The captured error is
+  /// consumed by the return: Wait stays reusable across batches and a
+  /// later batch starts with a clean slate.
+  Status Wait();
 
   /// Resolves a `--threads` style request: 0 -> hardware concurrency,
   /// otherwise the value itself (minimum 1).
@@ -50,12 +63,15 @@ class ThreadPool {
   /// Runs fn(0..n-1) across `num_threads` threads and waits for all of
   /// them. With num_threads <= 1 or n <= 1 the calls run inline on the
   /// caller's thread, in index order, with no pool spun up — callers get
-  /// a zero-overhead serial path for free.
-  static void ParallelFor(size_t num_threads, size_t n,
-                          const std::function<void(size_t)>& fn);
+  /// a zero-overhead serial path for free. Both paths share the Wait()
+  /// exception contract: every index is attempted, and the first
+  /// escaping exception comes back as a kInternal Status.
+  static Status ParallelFor(size_t num_threads, size_t n,
+                            const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
+  void RecordTaskError(const char* what);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
@@ -64,6 +80,8 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;  // queued + currently executing
   bool shutting_down_ = false;
+  std::string first_task_error_;  // empty = no task has thrown
+  bool task_threw_ = false;
 };
 
 }  // namespace pme

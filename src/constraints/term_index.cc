@@ -17,8 +17,11 @@ TermIndex TermIndex::Build(const anonymize::BucketizedTable& table,
   // Phase 1 (parallel): per-bucket distinct instance lists. Each bucket
   // writes only its own slots; bucket_offsets_[b + 1] temporarily holds
   // the bucket's term count.
+  // The shard tasks below touch only std containers and never throw in
+  // practice; the ParallelFor statuses exist for callers whose tasks can
+  // fail (the decomposed solver) and are vacuous here.
   const size_t workers = ThreadPool::ResolveThreads(threads);
-  ThreadPool::ParallelFor(workers, m, [&](size_t b) {
+  (void)ThreadPool::ParallelFor(workers, m, [&](size_t b) {
     auto& qis = index.bucket_qi_[b];
     auto& sas = index.bucket_sa_[b];
     for (const auto& [q, cnt] : table.BucketQiCounts(b)) qis.push_back(q);
@@ -37,7 +40,7 @@ TermIndex TermIndex::Build(const anonymize::BucketizedTable& table,
 
   // Phase 3 (parallel): materialize terms into disjoint slices.
   index.terms_.resize(index.bucket_offsets_[m]);
-  ThreadPool::ParallelFor(workers, m, [&](size_t b) {
+  (void)ThreadPool::ParallelFor(workers, m, [&](size_t b) {
     size_t k = index.bucket_offsets_[b];
     for (uint32_t q : index.bucket_qi_[b]) {
       for (uint32_t s : index.bucket_sa_[b]) {

@@ -55,10 +55,33 @@ std::string RenderPrivacyReport(const anonymize::BucketizedTable& table,
       << "\n";
   out << "  converged:         "
       << (analysis.solver.converged ? "yes" : "no") << "\n";
+  if (analysis.solver.termination != StatusCode::kOk) {
+    out << "  termination:       "
+        << StatusCodeToString(analysis.solver.termination) << "\n";
+  }
   out << "  worst violation:   " << Fmt("%.2e", analysis.solver.max_violation)
       << "\n";
   out << "  entropy:           " << Fmt("%.4f nats", analysis.solver.entropy)
-      << "\n\n";
+      << "\n";
+  if (!analysis.solver.component_outcomes.empty()) {
+    out << "  components:        " << analysis.solver.components_solved
+        << " solved, " << analysis.solver.components_degraded << " degraded, "
+        << analysis.solver.components_failed << " failed\n";
+    for (const auto& c : analysis.solver.component_outcomes) {
+      if (!c.degraded && !c.used_prior) continue;
+      out << "    block " << c.block << " (" << c.num_variables << " vars): "
+          << (c.used_prior ? "kept closed-form prior"
+                           : std::string("degraded to ") +
+                                 maxent::SolverKindToString(c.solver))
+          << " after " << c.attempts << " attempt"
+          << (c.attempts == 1 ? "" : "s") << " ("
+          << StatusCodeToString(c.status) << ")\n";
+    }
+  } else if (analysis.solver.degraded) {
+    out << "  degraded:          yes (fallback solver "
+        << maxent::SolverKindToString(analysis.solver.kind) << ")\n";
+  }
+  out << "\n";
 
   out << "[privacy under this bound]\n";
   out << "  estimation accuracy (weighted KL, smaller = less privacy): "

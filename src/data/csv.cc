@@ -12,8 +12,19 @@ namespace {
 Result<Dataset> ParseLines(std::istream& in, const CsvReadOptions& options) {
   std::string line;
   std::vector<std::string> names;
+  // Byte offset of the start of the current line — reported alongside
+  // the line number in every error so a malformed record in a large file
+  // can be found with `dd`/`tail -c` instead of a line-counting pass.
+  size_t line_start_byte = 0;
+  size_t next_line_byte = 0;
+  auto read_line = [&]() {
+    line_start_byte = next_line_byte;
+    if (!std::getline(in, line)) return false;
+    next_line_byte += line.size() + 1;  // +1 for the consumed '\n'
+    return true;
+  };
   if (options.has_header) {
-    if (!std::getline(in, line)) {
+    if (!read_line()) {
       return Status::IoError("CSV input is empty (no header)");
     }
     for (auto& f : Split(line, options.delimiter)) {
@@ -53,7 +64,11 @@ Result<Dataset> ParseLines(std::istream& in, const CsvReadOptions& options) {
   size_t line_no = options.has_header ? 1 : 0;
   std::vector<std::vector<std::string>> pending_rows;
 
-  while (std::getline(in, line)) {
+  auto at = [&](size_t ln) {
+    return "CSV line " + std::to_string(ln) + " (byte offset " +
+           std::to_string(line_start_byte) + ")";
+  };
+  while (read_line()) {
     ++line_no;
     if (Trim(line).empty()) continue;
     auto fields = Split(line, options.delimiter);
@@ -62,9 +77,9 @@ Result<Dataset> ParseLines(std::istream& in, const CsvReadOptions& options) {
       schema_built = true;
     }
     if (fields.size() != keep.size()) {
-      return Status::IoError("CSV line " + std::to_string(line_no) +
-                             ": expected " + std::to_string(keep.size()) +
-                             " fields, got " + std::to_string(fields.size()));
+      return Status::IoError(at(line_no) + ": expected " +
+                             std::to_string(keep.size()) + " fields, got " +
+                             std::to_string(fields.size()));
     }
     if (!dataset_init) {
       dataset = Dataset(std::move(schema));
@@ -76,7 +91,9 @@ Result<Dataset> ParseLines(std::istream& in, const CsvReadOptions& options) {
       if (keep[i] == SIZE_MAX) continue;
       values.emplace_back(Trim(fields[i]));
     }
-    PME_RETURN_IF_ERROR(dataset.AppendRecordValues(values));
+    if (Status s = dataset.AppendRecordValues(values); !s.ok()) {
+      return Status::IoError(at(line_no) + ": " + s.message());
+    }
   }
   if (!dataset_init) {
     if (!schema_built) return Status::IoError("CSV input has no data");

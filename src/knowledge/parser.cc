@@ -290,8 +290,11 @@ Status ParseKnowledge(std::string_view text, const ParserContext& context,
     return Status::InvalidArgument("knowledge base must not be null");
   }
   size_t line_no = 0;
+  size_t line_start_byte = 0;  // offset of the current line in `text`
   for (const auto& raw_line : Split(text, '\n')) {
     ++line_no;
+    const size_t this_line_start = line_start_byte;
+    line_start_byte += raw_line.size() + 1;  // +1 for the '\n' delimiter
     std::string_view line = Trim(raw_line);
     const auto hash = line.find('#');
     if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
@@ -299,7 +302,8 @@ Status ParseKnowledge(std::string_view text, const ParserContext& context,
     auto parsed = ParseStatement(line, context);
     if (!parsed.ok()) {
       return Status::InvalidArgument(
-          "line " + std::to_string(line_no) + ": " +
+          "line " + std::to_string(line_no) + " (byte offset " +
+          std::to_string(this_line_start) + "): " +
           parsed.status().message());
     }
     if (parsed.value().conditional.has_value()) {

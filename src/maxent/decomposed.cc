@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 
+#include "common/deadline.h"
+#include "common/failpoint.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -71,7 +74,12 @@ Result<SolverResult> SolveDecomposed(
         static_cast<double>(largest_coupled) >
             options.monolithic_fallback_fraction * static_cast<double>(total)) {
       PME_ASSIGN_OR_RETURN(MaxEntProblem whole, BuildProblem(system));
-      PME_ASSIGN_OR_RETURN(SolverResult mono, Solve(whole, kind, options));
+      SolverResult mono;
+      if (options.fallback) {
+        PME_ASSIGN_OR_RETURN(mono, SolveWithFallback(whole, kind, options));
+      } else {
+        PME_ASSIGN_OR_RETURN(mono, Solve(whole, kind, options));
+      }
       mono.used_monolithic_fallback = true;
       return mono;
     }
@@ -152,42 +160,185 @@ Result<SolverResult> SolveDecomposed(
     }
   }
 
+  // Per-component wall-time budgets: each coupled block gets a share of
+  // the remaining deadline proportional to its variable count. Blocks
+  // running in parallel each consume their own share of wall time; in a
+  // serial run the shares are relative to each block's own start, with
+  // the request deadline as the hard cap either way.
+  size_t total_block_vars = 0;
+  for (const auto& block : blocks) total_block_vars += block.cols.size();
+  const double remaining_at_start = options.deadline.RemainingSeconds();
+  std::vector<double> budget_seconds(blocks.size(), 0.0);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    budget_seconds[i] = remaining_at_start *
+                        static_cast<double>(blocks[i].cols.size()) /
+                        static_cast<double>(std::max<size_t>(total_block_vars,
+                                                             1));
+  }
+
   // Solve every block independently — in parallel when asked to. Each
   // task only writes its own slot, and the scatter below runs after the
   // barrier in block order, so the assembly is deterministic for any
   // thread count.
   std::vector<std::optional<Result<SolverResult>>> block_results(
       blocks.size());
+  std::vector<size_t> block_attempts(blocks.size(), 0);
   const size_t threads = ThreadPool::ResolveThreads(options.threads);
-  ThreadPool::ParallelFor(threads, blocks.size(), [&](size_t i) {
-    const BlockSelection& sel = blocks[i];
-    auto solve_block = [&]() -> Result<SolverResult> {
-      MaxEntProblem sub;
-      sub.num_vars = sel.cols.size();
-      PME_ASSIGN_OR_RETURN(sub.eq, full.eq.Submatrix(sel.eq_rows, sel.cols));
-      PME_ASSIGN_OR_RETURN(sub.ineq,
-                           full.ineq.Submatrix(sel.ineq_rows, sel.cols));
-      sub.eq_rhs.reserve(sel.eq_rows.size());
-      for (uint32_t r : sel.eq_rows) sub.eq_rhs.push_back(full.eq_rhs[r]);
-      sub.ineq_rhs.reserve(sel.ineq_rows.size());
-      for (uint32_t r : sel.ineq_rows) {
-        sub.ineq_rhs.push_back(full.ineq_rhs[r]);
-      }
-      return Solve(sub, kind, options);
-    };
-    block_results[i] = solve_block();
-  });
+  const Status pool_status = ThreadPool::ParallelFor(
+      threads, blocks.size(), [&](size_t i) {
+        const BlockSelection& sel = blocks[i];
+        SolverOptions block_options = options;
+        if (!options.deadline.is_infinite()) {
+          block_options.deadline = Deadline::Earlier(
+              options.deadline, Deadline::AfterSeconds(budget_seconds[i]));
+        }
+        // Failpoint `block_deadline@N`: the Nth block solved starts with
+        // an already-spent budget — the deterministic stand-in for "this
+        // component's share of the deadline ran out".
+        if (PME_FAILPOINT("block_deadline")) {
+          block_options.deadline = Deadline::AfterSeconds(0.0);
+        }
+        // Failpoint `pool_task_throw@N`: the Nth block task throws,
+        // exercising the pool's exception containment end to end (the
+        // slot stays unset and the component degrades below).
+        if (PME_FAILPOINT("pool_task_throw")) {
+          throw std::runtime_error("injected pool_task_throw failpoint");
+        }
+        auto solve_block = [&]() -> Result<SolverResult> {
+          MaxEntProblem sub;
+          sub.num_vars = sel.cols.size();
+          PME_ASSIGN_OR_RETURN(sub.eq,
+                               full.eq.Submatrix(sel.eq_rows, sel.cols));
+          PME_ASSIGN_OR_RETURN(sub.ineq,
+                               full.ineq.Submatrix(sel.ineq_rows, sel.cols));
+          sub.eq_rhs.reserve(sel.eq_rows.size());
+          for (uint32_t r : sel.eq_rows) sub.eq_rhs.push_back(full.eq_rhs[r]);
+          sub.ineq_rhs.reserve(sel.ineq_rows.size());
+          for (uint32_t r : sel.ineq_rows) {
+            sub.ineq_rhs.push_back(full.ineq_rhs[r]);
+          }
+          if (options.fallback) {
+            return SolveWithFallback(sub, kind, block_options,
+                                     &block_attempts[i]);
+          }
+          block_attempts[i] = 1;
+          return Solve(sub, kind, block_options);
+        };
+        block_results[i] = solve_block();
+      });
 
+  // Aggregate. With the fallback ladder on, a component whose every rung
+  // failed keeps its closed-form no-knowledge prior (already in
+  // result.p) and is flagged — one bad component must degrade its own
+  // answer, never the whole analysis. With fallback off, the historical
+  // fail-fast contract stands: the first component error propagates.
+  result.component_outcomes.reserve(blocks.size());
   for (size_t i = 0; i < blocks.size(); ++i) {
-    Result<SolverResult>& block_result = *block_results[i];
-    if (!block_result.ok()) return block_result.status();
-    const SolverResult& sub = block_result.value();
-    const auto& cols = blocks[i].cols;
-    for (size_t j = 0; j < cols.size(); ++j) result.p[cols[j]] = sub.p[j];
-    result.iterations += sub.iterations;
-    result.dual_value += sub.dual_value;
-    result.presolve_fixed += sub.presolve_fixed;
-    result.converged = result.converged && sub.converged;
+    ComponentOutcome outcome;
+    outcome.block = static_cast<uint32_t>(i);
+    outcome.num_variables = blocks[i].cols.size();
+    outcome.attempts = block_attempts[i];
+    outcome.solver = kind;
+
+    Status block_error = Status::Ok();
+    const SolverResult* sub = nullptr;
+    if (!block_results[i].has_value()) {
+      // The task never stored a result: it threw (and was contained by
+      // the pool). pool_status carries the first exception message.
+      block_error = pool_status.ok()
+                        ? Status::Internal("block task produced no result")
+                        : pool_status;
+    } else if (!block_results[i]->ok()) {
+      block_error = block_results[i]->status();
+    } else {
+      sub = &block_results[i]->value();
+    }
+
+    if (!options.fallback) {
+      if (!block_error.ok()) return block_error;
+      const auto& cols = blocks[i].cols;
+      for (size_t j = 0; j < cols.size(); ++j) result.p[cols[j]] = sub->p[j];
+      result.iterations += sub->iterations;
+      result.dual_value += sub->dual_value;
+      result.presolve_fixed += sub->presolve_fixed;
+      result.converged = result.converged && sub->converged;
+      if (result.termination == StatusCode::kOk) {
+        result.termination = sub->termination;
+      }
+      outcome.status = sub->termination;
+      outcome.solver = sub->kind;
+      ++result.components_solved;
+      result.component_outcomes.push_back(outcome);
+      continue;
+    }
+
+    const bool usable = sub != nullptr && IsAcceptable(*sub, options);
+    if (usable) {
+      const auto& cols = blocks[i].cols;
+      for (size_t j = 0; j < cols.size(); ++j) result.p[cols[j]] = sub->p[j];
+      result.iterations += sub->iterations;
+      result.dual_value += sub->dual_value;
+      result.presolve_fixed += sub->presolve_fixed;
+      result.converged = result.converged && sub->converged;
+      outcome.solver = sub->kind;
+      outcome.status = sub->termination;
+      outcome.degraded = sub->degraded;
+      if (sub->degraded) {
+        ++result.components_degraded;
+      } else {
+        ++result.components_solved;
+      }
+    } else if (sub != nullptr && sub->iterations > 0 &&
+               sub->termination != StatusCode::kNumericalError &&
+               std::isfinite(sub->max_violation)) {
+      // Unacceptable but finite, with real progress made: a
+      // hard-to-converge or interrupted block keeps its best-so-far
+      // iterate — same contract the pre-fallback solver had for
+      // non-converged blocks — rather than throwing the work away. A
+      // block that never got to iterate (budget spent up front) falls
+      // through to the prior instead: its untouched start point is worse
+      // than the closed form.
+      const auto& cols = blocks[i].cols;
+      for (size_t j = 0; j < cols.size(); ++j) result.p[cols[j]] = sub->p[j];
+      result.iterations += sub->iterations;
+      outcome.solver = sub->kind;
+      outcome.status = sub->termination == StatusCode::kOk
+                           ? StatusCode::kNotConverged
+                           : sub->termination;
+      outcome.degraded = true;
+      ++result.components_degraded;
+      result.converged = false;
+    } else {
+      // Degrade to the closed-form prior already sitting in result.p.
+      outcome.degraded = true;
+      outcome.used_prior = true;
+      if (sub != nullptr) {
+        outcome.solver = sub->kind;
+        outcome.status = sub->termination == StatusCode::kOk
+                             ? StatusCode::kNotConverged
+                             : sub->termination;
+        result.iterations += sub->iterations;
+        ++result.components_degraded;
+      } else {
+        outcome.status = block_error.code();
+        ++result.components_failed;
+      }
+      result.converged = false;
+    }
+    result.component_outcomes.push_back(outcome);
+  }
+  if (!options.fallback && !pool_status.ok()) return pool_status;
+  result.degraded =
+      result.components_degraded > 0 || result.components_failed > 0;
+  // A cooperative cancel outranks per-component bookkeeping: the caller
+  // asked the whole request to stop, and the aggregate says so (while
+  // still carrying the partial answer). A spent request deadline
+  // likewise marks the aggregate, so callers can tell "finished with
+  // degraded parts" from "ran out of time".
+  if (options.cancel.cancelled()) {
+    result.termination = StatusCode::kCancelled;
+  } else if (options.fallback && options.deadline.Expired()) {
+    result.termination = StatusCode::kDeadlineExceeded;
   }
 
   result.entropy = Entropy(result.p);

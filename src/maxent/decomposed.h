@@ -32,6 +32,21 @@ namespace pme::maxent {
 /// The returned SolverResult's `p` covers the full variable space;
 /// `iterations` sums the block solves and `seconds` is the wall time of
 /// the whole decomposed pipeline.
+///
+/// Failure semantics: with `options.fallback` on (the default), each
+/// block runs the SolveWithFallback ladder under a wall-time budget
+/// proportional to its variable count (a slice of `options.deadline`).
+/// A block that ends unacceptable but made real progress keeps its best
+/// finite iterate (the contract non-converged solves always had); a
+/// block with no usable iterate — poisoned numerics, a thrown task, a
+/// budget spent before the first iteration — keeps its
+/// closed-form no-knowledge prior. Both are reported in
+/// `component_outcomes` / `components_{solved,degraded,failed}`; the
+/// call still returns Ok with `degraded = true`, so one bad component
+/// never sinks the whole analysis. `termination` is kCancelled when the
+/// token fired, kDeadlineExceeded when the request deadline is spent.
+/// With `fallback` off, the historical fail-fast contract stands: the
+/// first block error propagates as the call's Status.
 Result<SolverResult> SolveDecomposed(const anonymize::BucketizedTable& table,
                                      const constraints::TermIndex& index,
                                      const constraints::ConstraintSystem& system,

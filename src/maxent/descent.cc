@@ -43,9 +43,13 @@ Result<DualOutcome> MinimizeSteepest(const DualFunction& dual,
                                      const SolverOptions& options) {
   const size_t m = dual.dim();
   DualOutcome out;
-  out.lambda.assign(m, 0.0);
+  InitLambda(options, m, &out.lambda);
   if (m == 0) {
     out.converged = true;
+    return out;
+  }
+  if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+    out.stop = stop;
     return out;
   }
   DualWorkspace ws;
@@ -59,6 +63,11 @@ Result<DualOutcome> MinimizeSteepest(const DualFunction& dual,
     out.iterations = iter;
     if (out.grad_inf <= options.tolerance) {
       out.converged = true;
+      out.dual_value = value;
+      return out;
+    }
+    if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+      out.stop = stop;
       out.dual_value = value;
       return out;
     }
@@ -89,9 +98,13 @@ Result<DualOutcome> MinimizeNewton(const DualFunction& dual,
         "); use LBFGS for large problems");
   }
   DualOutcome out;
-  out.lambda.assign(m, 0.0);
+  InitLambda(options, m, &out.lambda);
   if (m == 0) {
     out.converged = true;
+    return out;
+  }
+  if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+    out.stop = stop;
     return out;
   }
 
@@ -119,6 +132,13 @@ Result<DualOutcome> MinimizeNewton(const DualFunction& dual,
     out.iterations = iter;
     if (out.grad_inf <= options.tolerance) {
       out.converged = true;
+      out.dual_value = value;
+      return out;
+    }
+    // Checked before the O(m²)-and-worse Hessian build, the iteration's
+    // dominant cost.
+    if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+      out.stop = stop;
       out.dual_value = value;
       return out;
     }

@@ -53,9 +53,13 @@ Result<DualOutcome> MinimizeGis(const DualFunction& dual,
   PME_RETURN_IF_ERROR(CheckScalingPreconditions(dual));
   const size_t m = dual.dim();
   DualOutcome out;
-  out.lambda.assign(m, 0.0);
+  InitLambda(options, m, &out.lambda);
   if (m == 0) {
     out.converged = true;
+    return out;
+  }
+  if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+    out.stop = stop;
     return out;
   }
 
@@ -75,6 +79,10 @@ Result<DualOutcome> MinimizeGis(const DualFunction& dual,
     out.iterations = iter;
     if (out.grad_inf <= options.tolerance) {
       out.converged = true;
+      return out;
+    }
+    if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+      out.stop = stop;
       return out;
     }
     // λ_j += (1/C) ln(b_j / μ_j), with μ_j the current model expectation.
@@ -99,9 +107,13 @@ Result<DualOutcome> MinimizeIis(const DualFunction& dual,
   PME_RETURN_IF_ERROR(CheckScalingPreconditions(dual));
   const size_t m = dual.dim();
   DualOutcome out;
-  out.lambda.assign(m, 0.0);
+  InitLambda(options, m, &out.lambda);
   if (m == 0) {
     out.converged = true;
+    return out;
+  }
+  if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+    out.stop = stop;
     return out;
   }
 
@@ -120,6 +132,10 @@ Result<DualOutcome> MinimizeIis(const DualFunction& dual,
     out.iterations = iter;
     if (out.grad_inf <= options.tolerance) {
       out.converged = true;
+      return out;
+    }
+    if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+      out.stop = stop;
       return out;
     }
     // Per-constraint 1-D Newton solve of

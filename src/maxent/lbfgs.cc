@@ -1,6 +1,8 @@
 #include <cmath>
 #include <deque>
+#include <limits>
 
+#include "common/failpoint.h"
 #include "common/math_util.h"
 #include "common/vec_math.h"
 #include "maxent/solvers_internal.h"
@@ -40,15 +42,32 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
                                   const SolverOptions& options) {
   const size_t m = dual.dim();
   DualOutcome out;
-  out.lambda.assign(m, 0.0);
+  InitLambda(options, m, &out.lambda);
   if (m == 0) {
     out.converged = true;
     return out;
   }
+  if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+    // Budget was gone before the first evaluation: the start point is the
+    // best (and only) iterate.
+    out.stop = stop;
+    return out;
+  }
+
+  // Failpoints, counted once per solve so a fault can be aimed at the
+  // Nth component of a decomposed run: `lbfgs_nan` poisons the gradient
+  // after the first evaluation (a numerical blowup), `lbfgs_spurious`
+  // makes the solve give up immediately with a not-converged iterate.
+  const bool inject_nan = PME_FAILPOINT("lbfgs_nan");
+  const bool inject_spurious = PME_FAILPOINT("lbfgs_spurious");
 
   DualWorkspace ws;
   std::vector<double> grad(m, 0.0);
   double value = dual.EvaluateInto(out.lambda, &grad, &ws);
+  if (inject_nan) {
+    value = std::numeric_limits<double>::quiet_NaN();
+    grad.assign(m, std::numeric_limits<double>::quiet_NaN());
+  }
 
   // Correction-pair history for the two-loop recursion.
   std::deque<std::vector<double>> s_hist, y_hist;
@@ -66,6 +85,18 @@ Result<DualOutcome> MinimizeLbfgs(const DualFunction& dual,
     out.grad_inf = InfNorm(grad);
     if (out.grad_inf <= options.tolerance) {
       out.converged = true;
+      out.iterations = iter;
+      out.dual_value = value;
+      return out;
+    }
+    if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+      out.stop = stop;
+      out.iterations = iter;
+      out.dual_value = value;
+      return out;
+    }
+    if (inject_spurious) {
+      // Injected non-convergence: stop here with the current iterate.
       out.iterations = iter;
       out.dual_value = value;
       return out;

@@ -45,9 +45,14 @@ Result<DualOutcome> MinimizeProjected(const DualFunction& dual, size_t num_eq,
                                       const SolverOptions& options) {
   const size_t m = dual.dim();
   DualOutcome out;
-  out.lambda.assign(m, 0.0);
+  InitLambda(options, m, &out.lambda);
+  Project(num_eq, &out.lambda);  // a warm start must enter the feasible box
   if (m == 0) {
     out.converged = true;
+    return out;
+  }
+  if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+    out.stop = stop;
     return out;
   }
 
@@ -63,6 +68,11 @@ Result<DualOutcome> MinimizeProjected(const DualFunction& dual, size_t num_eq,
     out.iterations = iter;
     if (out.grad_inf <= options.tolerance) {
       out.converged = true;
+      out.dual_value = value;
+      return out;
+    }
+    if (StatusCode stop = CheckStop(options); stop != StatusCode::kOk) {
+      out.stop = stop;
       out.dual_value = value;
       return out;
     }

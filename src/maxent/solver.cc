@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "common/math_util.h"
 #include "common/timer.h"
@@ -64,6 +66,8 @@ const char* SolverKindToString(SolverKind kind) {
       return "steepest";
     case SolverKind::kNewton:
       return "newton";
+    case SolverKind::kProjected:
+      return "projected";
   }
   return "unknown";
 }
@@ -128,21 +132,109 @@ Result<SolverResult> Solve(const MaxEntProblem& problem, SolverKind kind,
                                internal::MinimizeNewton(dual, options));
           break;
         }
+        case SolverKind::kProjected: {
+          // No inequality rows: the box is all of R^m and this is plain
+          // Barzilai–Borwein gradient descent — the fallback chain's
+          // curvature-free restart rung.
+          PME_ASSIGN_OR_RETURN(
+              outcome,
+              internal::MinimizeProjected(dual, reduced.eq.rows(), options));
+          break;
+        }
       }
       reduced_p = dual.Primal(outcome.lambda);
     }
     result.iterations = outcome.iterations;
     result.converged = outcome.converged;
     result.dual_value = outcome.dual_value;
+    result.termination = outcome.stop;
+    result.dual_lambda = std::move(outcome.lambda);
   } else {
     result.converged = true;
   }
 
   result.p = pre.Restore(reduced_p);
+  if (result.termination == StatusCode::kOk) {
+    // A NaN/Inf iterate (diverged multipliers, overflowed exp) is a
+    // numerical failure even when the minimizer exited cleanly.
+    for (double v : result.p) {
+      if (!std::isfinite(v)) {
+        result.termination = StatusCode::kNumericalError;
+        result.converged = false;
+        break;
+      }
+    }
+  }
   result.entropy = Entropy(result.p);
   result.max_violation = ProblemViolation(problem, result.p);
   result.seconds = timer.ElapsedSeconds();
   return result;
+}
+
+bool IsAcceptable(const SolverResult& result, const SolverOptions& options) {
+  if (result.termination != StatusCode::kOk) return false;
+  if (!std::isfinite(result.max_violation)) return false;
+  return result.converged ||
+         result.max_violation <= options.fallback_accept_violation;
+}
+
+Result<SolverResult> SolveWithFallback(const MaxEntProblem& problem,
+                                       SolverKind kind,
+                                       const SolverOptions& options,
+                                       size_t* attempts) {
+  // The ladder: requested solver, projected-gradient restart (from the
+  // best dual point so far), GIS. Later rungs trade convergence speed
+  // for robustness — no curvature memory to poison, monotone updates.
+  std::vector<SolverKind> ladder = {kind};
+  if (kind != SolverKind::kProjected) ladder.push_back(SolverKind::kProjected);
+  if (kind != SolverKind::kGis) ladder.push_back(SolverKind::kGis);
+
+  std::optional<SolverResult> best;  // finite attempt with least violation
+  std::vector<double> warm;
+  SolverOptions rung_options = options;
+  size_t tried = 0;
+  Status hard_error = Status::Ok();
+  for (SolverKind rung : ladder) {
+    if (tried >= options.max_fallback_attempts) break;
+    if (tried > 0 && CheckInterrupt(options.deadline, options.cancel) !=
+                         StatusCode::kOk) {
+      break;  // no budget left to retry with
+    }
+    ++tried;
+    auto attempt = Solve(problem, rung, rung_options);
+    if (!attempt.ok()) {
+      // Precondition/structural failure of this rung (e.g. GIS on
+      // negative coefficients); the next rung may still apply.
+      hard_error = attempt.status();
+      continue;
+    }
+    SolverResult result = std::move(attempt).value();
+    if (IsAcceptable(result, options)) {
+      result.degraded = tried > 1;
+      if (attempts != nullptr) *attempts = tried;
+      return result;
+    }
+    const bool finite = result.termination != StatusCode::kNumericalError &&
+                        std::isfinite(result.max_violation);
+    if (finite &&
+        (!best.has_value() || result.max_violation < best->max_violation)) {
+      best = result;
+    }
+    // Restart the next rung from this rung's dual point when usable
+    // (InitLambda re-checks finiteness; a shorter/poisoned lambda is
+    // ignored there).
+    if (!result.dual_lambda.empty()) {
+      warm = std::move(result.dual_lambda);
+      rung_options.warm_start = &warm;
+    }
+  }
+  if (attempts != nullptr) *attempts = tried;
+  if (best.has_value()) {
+    best->degraded = tried > 1;
+    return std::move(*best);
+  }
+  if (!hard_error.ok()) return hard_error;
+  return Status::NotConverged("every fallback rung failed without an iterate");
 }
 
 }  // namespace pme::maxent

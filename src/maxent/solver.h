@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "maxent/problem.h"
 
@@ -15,12 +16,17 @@ namespace pme::maxent {
 /// Available dual minimizers. The paper's implementation uses LBFGS
 /// (Nocedal [16]); GIS [8], IIS [20], steepest descent and Newton's method
 /// are provided for the Malouf-style solver comparison ([18], Section 3.3).
+/// kProjected is the Barzilai–Borwein projected-gradient solver — always
+/// used for inequality problems, selectable for equality-only ones as
+/// the fallback chain's restart rung (robust, no curvature memory to
+/// poison).
 enum class SolverKind : int {
   kLbfgs = 0,
   kGis = 1,
   kIis = 2,
   kSteepest = 3,
   kNewton = 4,
+  kProjected = 5,
 };
 
 const char* SolverKindToString(SolverKind kind);
@@ -69,6 +75,64 @@ struct SolverOptions {
   /// ablation) for no block-level parallelism. Set above 1.0 to always
   /// decompose.
   double monolithic_fallback_fraction = 0.8;
+  /// Wall-clock budget for the solve, checked once per outer iteration
+  /// by every minimizer. On expiry the solve stops and returns the best
+  /// iterate reached so far with termination == kDeadlineExceeded —
+  /// never an empty-handed error. Infinite (never expires) by default.
+  /// SolveDecomposed additionally derives per-component sub-deadlines
+  /// from this budget, proportional to component size.
+  Deadline deadline;
+  /// Cooperative cancellation, checked together with the deadline each
+  /// iteration (termination == kCancelled, best-so-far returned).
+  CancellationToken cancel;
+  /// Optional warm start for the dual multipliers, in the reduced
+  /// (post-presolve) row space. Ignored when the size does not match the
+  /// reduced dual dimension or any entry is non-finite. Not owned; must
+  /// outlive the Solve call. Used by the fallback chain to restart the
+  /// next rung from the best point so far, and by warm-started
+  /// re-analysis.
+  const std::vector<double>* warm_start = nullptr;
+  /// SolveDecomposed: when a component's solve fails (non-finite
+  /// iterate, injected fault, deadline, hard error), walk it down the
+  /// degradation ladder — projected-gradient restart from best-so-far,
+  /// then iterative scaling, then the closed-form no-knowledge prior —
+  /// instead of failing the whole analysis. Off restores fail-fast
+  /// propagation of the first component error.
+  bool fallback = true;
+  /// Iterative rungs tried per component (the requested solver counts as
+  /// the first) before degrading to the closed-form prior.
+  size_t max_fallback_attempts = 3;
+  /// A fallback rung's answer is accepted when it converged, or when its
+  /// worst constraint violation is at or below this bound (a solve that
+  /// exhausted its budget a few ulps above `tolerance` is still a
+  /// perfectly good posterior).
+  double fallback_accept_violation = 1e-6;
+};
+
+/// Per-component record of the decomposed solve's fallback ladder.
+struct ComponentOutcome {
+  /// Dense index of the coupled block (matches the decomposition's
+  /// block numbering; uncoupled closed-form components are not listed —
+  /// they are exact by Theorem 5 and cannot fail).
+  uint32_t block = 0;
+  /// Variables in the block.
+  size_t num_variables = 0;
+  /// The solver rung that produced the accepted answer (meaningless when
+  /// `used_prior`).
+  SolverKind solver = SolverKind::kLbfgs;
+  /// Terminal status of the accepted (or last attempted) rung: kOk,
+  /// kDeadlineExceeded, kCancelled, kNumericalError, or a hard error
+  /// code.
+  StatusCode status = StatusCode::kOk;
+  /// Solve attempts consumed, requested solver included.
+  size_t attempts = 0;
+  /// True when the answer came from below the requested solver (a lower
+  /// rung or the prior).
+  bool degraded = false;
+  /// True when every iterative rung failed and the block kept the
+  /// closed-form no-knowledge prior — the component's answer ignores its
+  /// knowledge constraints and overstates privacy for those buckets.
+  bool used_prior = false;
 };
 
 /// Outcome of a MaxEnt solve.
@@ -95,6 +159,27 @@ struct SolverResult {
   bool used_monolithic_fallback = false;
   /// Which solver produced this result.
   SolverKind kind = SolverKind::kLbfgs;
+  /// Why the solve stopped: kOk for a normal finish (converged or budget
+  /// exhausted with a finite iterate), kDeadlineExceeded / kCancelled
+  /// when interrupted (p is the best iterate so far), kNumericalError
+  /// when the returned point is non-finite.
+  StatusCode termination = StatusCode::kOk;
+  /// The dual multipliers of the reduced (post-presolve) problem — the
+  /// warm-start payload for SolverOptions::warm_start. Empty for
+  /// decomposed solves (block duals do not concatenate meaningfully).
+  std::vector<double> dual_lambda;
+  /// True when any part of the answer was produced below the requested
+  /// solver (fallback rung or closed-form prior).
+  bool degraded = false;
+  /// Decomposed-solve census over *coupled* components: answered by the
+  /// requested solver / degraded to a lower rung or the prior / hard
+  /// failure (kept prior, counted separately). All zero for monolithic
+  /// solves.
+  size_t components_solved = 0;
+  size_t components_degraded = 0;
+  size_t components_failed = 0;
+  /// One record per coupled component (empty for monolithic solves).
+  std::vector<ComponentOutcome> component_outcomes;
 };
 
 /// Solves the MaxEnt problem with the chosen solver.
@@ -110,6 +195,24 @@ struct SolverResult {
 Result<SolverResult> Solve(const MaxEntProblem& problem,
                            SolverKind kind = SolverKind::kLbfgs,
                            const SolverOptions& options = {});
+
+/// Accepts `result` as an answer: a normal termination that either met
+/// the tolerance or left a violation within fallback_accept_violation.
+bool IsAcceptable(const SolverResult& result, const SolverOptions& options);
+
+/// The per-problem degradation ladder used by SolveDecomposed: the
+/// requested solver first, then a projected-gradient restart warm-started
+/// from the best dual point so far, then GIS — bounded by
+/// options.max_fallback_attempts and options.deadline. Returns the first
+/// acceptable rung's result (`degraded` set when it was not the first
+/// rung). When no rung is acceptable, returns the finite attempt with the
+/// smallest violation, its `termination` explaining why (recoverable
+/// failures never surface as an error Status; hard errors from every rung
+/// do). `attempts`, when non-null, receives the number of rungs tried.
+Result<SolverResult> SolveWithFallback(const MaxEntProblem& problem,
+                                       SolverKind kind,
+                                       const SolverOptions& options,
+                                       size_t* attempts = nullptr);
 
 }  // namespace pme::maxent
 

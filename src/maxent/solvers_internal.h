@@ -10,11 +10,34 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "maxent/dual.h"
 #include "maxent/solver.h"
 
 namespace pme::maxent::internal {
+
+/// Starting point for a minimizer: zeros, or the caller's warm start
+/// when it matches the dual dimension and is entirely finite (a poisoned
+/// warm start must not propagate a fault into the recovery rung).
+inline void InitLambda(const SolverOptions& options, size_t m,
+                       std::vector<double>* lambda) {
+  lambda->assign(m, 0.0);
+  if (options.warm_start == nullptr || options.warm_start->size() != m) {
+    return;
+  }
+  for (double v : *options.warm_start) {
+    if (!std::isfinite(v)) return;
+  }
+  *lambda = *options.warm_start;
+}
+
+/// The once-per-iteration interrupt poll every minimizer runs: kOk to
+/// keep iterating, kCancelled / kDeadlineExceeded to stop and return the
+/// best iterate so far.
+inline StatusCode CheckStop(const SolverOptions& options) {
+  return CheckInterrupt(options.deadline, options.cancel);
+}
 
 /// Detects runs of accepted-but-worthless line-search steps: near the
 /// numerical floor the Armijo test keeps accepting rounding-noise
@@ -51,6 +74,9 @@ struct DualOutcome {
   double dual_value = 0.0;
   /// ‖∇D‖∞ at the final iterate == worst equality-constraint violation.
   double grad_inf = 0.0;
+  /// kOk for a normal finish; kDeadlineExceeded / kCancelled when the
+  /// solve was interrupted — `lambda` is still the best iterate so far.
+  StatusCode stop = StatusCode::kOk;
 };
 
 /// Limited-memory BFGS with two-loop recursion and Armijo backtracking.

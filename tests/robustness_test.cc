@@ -1,0 +1,614 @@
+// Tests for the fault-tolerant solve pipeline: the failpoint registry,
+// deadlines and cancellation tokens, the per-component fallback chain of
+// SolveDecomposed, thread-pool exception containment, and the
+// malformed-input corpus for the CSV and knowledge parsers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/failpoint.h"
+#include "common/thread_pool.h"
+#include "constraints/bk_compiler.h"
+#include "constraints/invariants.h"
+#include "constraints/system.h"
+#include "constraints/term_index.h"
+#include "core/privacy_maxent.h"
+#include "data/csv.h"
+#include "knowledge/knowledge_base.h"
+#include "knowledge/parser.h"
+#include "maxent/decomposed.h"
+#include "maxent/problem.h"
+#include "maxent/solver.h"
+#include "tests/test_util.h"
+
+#ifndef PME_TEST_CORPUS_DIR
+#define PME_TEST_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace pme {
+namespace {
+
+using anonymize::BucketizedTable;
+using constraints::ConstraintSystem;
+using constraints::TermIndex;
+using pme::testing::kQ4;
+using pme::testing::kQ5;
+using pme::testing::kS1;
+using pme::testing::kS5;
+
+/// Deactivates every failpoint when a test exits, configured or not.
+struct ScopedFailpoints {
+  explicit ScopedFailpoints(std::string_view spec = "") {
+    EXPECT_TRUE(failpoint::Configure(spec).ok()) << spec;
+  }
+  ~ScopedFailpoints() { failpoint::Reset(); }
+};
+
+ConstraintSystem InvariantSystem(const BucketizedTable& t,
+                                 const TermIndex& index) {
+  ConstraintSystem system(index.num_variables());
+  system.AddAll(constraints::GenerateInvariants(t, index));
+  return system;
+}
+
+void AddConditional(const BucketizedTable& t, const TermIndex& index,
+                    ConstraintSystem* system, uint32_t q, uint32_t s,
+                    double value) {
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::AbstractConditional(q, {s}, value));
+  auto compiled = constraints::CompileKnowledge(kb, t, index).ValueOrDie();
+  system->AddAll(std::move(compiled.constraints));
+}
+
+/// Figure 1 with two independent coupled components (bucket 1 via q4,
+/// bucket 2 via q5) and bucket 0 on the closed form.
+maxent::MaxEntProblem TwoComponentProblem(const BucketizedTable& t,
+                                          const TermIndex& index,
+                                          ConstraintSystem* system) {
+  AddConditional(t, index, system, kQ4, kS1, 0.9);
+  AddConditional(t, index, system, kQ5, kS5, 0.8);
+  return maxent::BuildProblem(*system).ValueOrDie();
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::string CorpusPath(const std::string& name) {
+  return std::string(PME_TEST_CORPUS_DIR) + "/" + name;
+}
+
+// ------------------------------------------------------------ failpoints
+
+TEST(FailpointTest, ExactTriggerFiresOnlyOnTheNthHit) {
+  ScopedFailpoints fp("site@2");
+  EXPECT_FALSE(failpoint::Hit("site"));
+  EXPECT_TRUE(failpoint::Hit("site"));
+  EXPECT_FALSE(failpoint::Hit("site"));
+  EXPECT_EQ(failpoint::HitCount("site"), 3u);
+  EXPECT_EQ(failpoint::HitCount("other"), 0u);
+}
+
+TEST(FailpointTest, AlwaysAndOnwardTriggers) {
+  ScopedFailpoints fp("every,tail@2+");
+  EXPECT_TRUE(failpoint::Hit("every"));
+  EXPECT_TRUE(failpoint::Hit("every"));
+  EXPECT_FALSE(failpoint::Hit("tail"));
+  EXPECT_TRUE(failpoint::Hit("tail"));
+  EXPECT_TRUE(failpoint::Hit("tail"));
+}
+
+TEST(FailpointTest, UnconfiguredSitesAreInert) {
+  ScopedFailpoints fp("armed@1");
+  EXPECT_FALSE(failpoint::Hit("somewhere_else"));
+  EXPECT_TRUE(failpoint::Hit("armed"));
+}
+
+TEST(FailpointTest, MalformedSpecIsRejectedAndKeepsThePrevious) {
+  ScopedFailpoints fp("keep@1");
+  EXPECT_FALSE(failpoint::Configure("bad@x").ok());
+  EXPECT_FALSE(failpoint::Configure("bad@0").ok());
+  EXPECT_NE(failpoint::ActiveSpec().find("keep"), std::string::npos);
+  EXPECT_TRUE(failpoint::Hit("keep"));
+}
+
+TEST(FailpointTest, ResetDeactivatesEverything) {
+  ASSERT_TRUE(failpoint::Configure("x").ok());
+  EXPECT_TRUE(failpoint::Hit("x"));
+  failpoint::Reset();
+  EXPECT_FALSE(failpoint::Hit("x"));
+  EXPECT_TRUE(failpoint::ActiveSpec().empty());
+}
+
+// ------------------------------------------------- deadline + cancellation
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+}
+
+TEST(DeadlineTest, ZeroOrNegativeBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterSeconds(0.0).Expired());
+  EXPECT_TRUE(Deadline::AfterSeconds(-3.0).Expired());
+  EXPECT_EQ(Deadline::AfterSeconds(0.0).RemainingSeconds(), 0.0);
+}
+
+TEST(DeadlineTest, EarlierPrefersTheFiniteAndSoonerDeadline) {
+  const Deadline far = Deadline::AfterSeconds(1e6);
+  const Deadline near = Deadline::AfterSeconds(0.0);
+  EXPECT_TRUE(Deadline::Earlier(far, near).Expired());
+  EXPECT_TRUE(Deadline::Earlier(near, far).Expired());
+  EXPECT_FALSE(Deadline::Earlier(Deadline::Infinite(), far).is_infinite());
+  EXPECT_TRUE(
+      Deadline::Earlier(Deadline::Infinite(), Deadline::Infinite())
+          .is_infinite());
+}
+
+TEST(DeadlineTest, SkipFailpointExpiresFiniteDeadlinesOnly) {
+  ScopedFailpoints fp("deadline_skip");
+  EXPECT_TRUE(Deadline::AfterSeconds(1e6).Expired());
+  EXPECT_FALSE(Deadline::Infinite().Expired());
+}
+
+TEST(CancellationTest, SourceCancelsEveryToken) {
+  CancellationSource source;
+  const CancellationToken a = source.token();
+  const CancellationToken b = source.token();
+  EXPECT_FALSE(a.cancelled());
+  source.Cancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_FALSE(CancellationToken().cancelled());
+}
+
+TEST(CancellationTest, CheckInterruptReportsCancelBeforeDeadline) {
+  CancellationSource source;
+  source.Cancel();
+  EXPECT_EQ(CheckInterrupt(Deadline::AfterSeconds(0.0), source.token()),
+            StatusCode::kCancelled);
+  EXPECT_EQ(CheckInterrupt(Deadline::AfterSeconds(0.0), CancellationToken()),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(CheckInterrupt(Deadline::Infinite(), CancellationToken()),
+            StatusCode::kOk);
+}
+
+// ----------------------------------------------- solver interrupt semantics
+
+TEST(SolverInterruptTest, ExpiredDeadlineReturnsBestSoFarNotAnError) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  auto problem = TwoComponentProblem(t, index, &system);
+
+  maxent::SolverOptions options;
+  options.deadline = Deadline::AfterSeconds(0.0);
+  auto result = maxent::Solve(problem, maxent::SolverKind::kLbfgs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().termination, StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(result.value().converged);
+  ASSERT_EQ(result.value().p.size(), problem.num_vars);
+  for (double v : result.value().p) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SolverInterruptTest, CancelledTokenStopsEverySolverKind) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  auto problem = maxent::BuildProblem(system).ValueOrDie();
+
+  CancellationSource source;
+  source.Cancel();
+  maxent::SolverOptions options;
+  options.cancel = source.token();
+  for (auto kind :
+       {maxent::SolverKind::kLbfgs, maxent::SolverKind::kGis,
+        maxent::SolverKind::kIis, maxent::SolverKind::kSteepest,
+        maxent::SolverKind::kNewton, maxent::SolverKind::kProjected}) {
+    auto result = maxent::Solve(problem, kind, options);
+    ASSERT_TRUE(result.ok()) << maxent::SolverKindToString(kind);
+    EXPECT_EQ(result.value().termination, StatusCode::kCancelled)
+        << maxent::SolverKindToString(kind);
+  }
+}
+
+TEST(SolverInterruptTest, WarmStartResumesAtTheSolution) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  auto problem = TwoComponentProblem(t, index, &system);
+
+  auto cold = maxent::Solve(problem).ValueOrDie();
+  ASSERT_TRUE(cold.converged);
+  ASSERT_FALSE(cold.dual_lambda.empty());
+
+  maxent::SolverOptions options;
+  options.warm_start = &cold.dual_lambda;
+  auto warm = maxent::Solve(problem, maxent::SolverKind::kLbfgs, options)
+                  .ValueOrDie();
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 2u);
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+// ------------------------------------------------------------- fallback
+
+TEST(FallbackTest, NanGradientFailpointDegradesToProjectedRestart) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  auto problem = TwoComponentProblem(t, index, &system);
+  auto clean = maxent::Solve(problem).ValueOrDie();
+
+  ScopedFailpoints fp("lbfgs_nan@1");
+  size_t attempts = 0;
+  auto result = maxent::SolveWithFallback(
+      problem, maxent::SolverKind::kLbfgs, maxent::SolverOptions{}, &attempts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().degraded);
+  EXPECT_GE(attempts, 2u);
+  EXPECT_EQ(result.value().kind, maxent::SolverKind::kProjected);
+  ASSERT_EQ(result.value().p.size(), clean.p.size());
+  for (size_t i = 0; i < clean.p.size(); ++i) {
+    EXPECT_NEAR(result.value().p[i], clean.p[i], 1e-5) << i;
+  }
+}
+
+TEST(FallbackTest, SpuriousNonConvergenceFailpointTriggersTheLadder) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  auto problem = TwoComponentProblem(t, index, &system);
+
+  ScopedFailpoints fp("lbfgs_spurious@1");
+  size_t attempts = 0;
+  auto result = maxent::SolveWithFallback(
+      problem, maxent::SolverKind::kLbfgs, maxent::SolverOptions{}, &attempts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().degraded);
+  EXPECT_GE(attempts, 2u);
+  EXPECT_LT(result.value().max_violation, 1e-6);
+}
+
+TEST(FallbackTest, AcceptableFirstRungIsNotDegraded) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  auto problem = TwoComponentProblem(t, index, &system);
+
+  size_t attempts = 0;
+  auto result = maxent::SolveWithFallback(
+      problem, maxent::SolverKind::kLbfgs, maxent::SolverOptions{}, &attempts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().degraded);
+  EXPECT_EQ(attempts, 1u);
+  EXPECT_EQ(result.value().kind, maxent::SolverKind::kLbfgs);
+}
+
+// ------------------------------------------------------ decomposed solve
+
+TEST(DecomposedRobustnessTest, FaultIsolationKeepsUntouchedComponentsExact) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  AddConditional(t, index, &system, kQ4, kS1, 0.9);
+  AddConditional(t, index, &system, kQ5, kS5, 0.8);
+
+  auto clean = maxent::SolveDecomposed(t, index, system).ValueOrDie();
+  ASSERT_EQ(clean.components_solved, 2u);
+
+  // Poison block 0 (bucket 1, q4) with a NaN gradient and spend block 1's
+  // (bucket 2, q5) whole deadline budget before it starts. Serial solve
+  // keeps the hit order — and therefore the targeting — deterministic.
+  ScopedFailpoints fp("lbfgs_nan@1,block_deadline@2");
+  maxent::SolverOptions options;
+  options.threads = 1;
+  auto faulted = maxent::SolveDecomposed(t, index, system,
+                                         maxent::SolverKind::kLbfgs, options);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  const auto& result = faulted.value();
+
+  EXPECT_EQ(result.termination, StatusCode::kOk);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.components_solved, 0u);
+  EXPECT_EQ(result.components_degraded, 2u);
+  EXPECT_EQ(result.components_failed, 0u);
+  ASSERT_EQ(result.component_outcomes.size(), 2u);
+
+  // Block 0 recovered on the projected-restart rung.
+  EXPECT_TRUE(result.component_outcomes[0].degraded);
+  EXPECT_FALSE(result.component_outcomes[0].used_prior);
+  EXPECT_EQ(result.component_outcomes[0].solver,
+            maxent::SolverKind::kProjected);
+  // Block 1 never got to iterate: it kept the closed-form prior.
+  EXPECT_TRUE(result.component_outcomes[1].used_prior);
+  EXPECT_EQ(result.component_outcomes[1].status,
+            StatusCode::kDeadlineExceeded);
+
+  // The untouched closed-form bucket (bucket 0) is bit-identical to the
+  // clean run.
+  const auto [b0_first, b0_last] = index.BucketRange(0);
+  for (uint32_t v = b0_first; v < b0_last; ++v) {
+    EXPECT_NEAR(result.p[v], clean.p[v], 1e-10) << "var " << v;
+  }
+  // The recovered block agrees with the clean solve to solver tolerance.
+  const auto [b1_first, b1_last] = index.BucketRange(1);
+  for (uint32_t v = b1_first; v < b1_last; ++v) {
+    EXPECT_NEAR(result.p[v], clean.p[v], 1e-5) << "var " << v;
+  }
+  for (double v : result.p) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(DecomposedRobustnessTest, ThrowingBlockTaskDegradesOnlyItsComponent) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  AddConditional(t, index, &system, kQ4, kS1, 0.9);
+  AddConditional(t, index, &system, kQ5, kS5, 0.8);
+  auto clean = maxent::SolveDecomposed(t, index, system).ValueOrDie();
+
+  ScopedFailpoints fp("pool_task_throw@1");
+  maxent::SolverOptions options;
+  options.threads = 1;
+  auto result = maxent::SolveDecomposed(t, index, system,
+                                        maxent::SolverKind::kLbfgs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().termination, StatusCode::kOk);
+  EXPECT_TRUE(result.value().degraded);
+  EXPECT_EQ(result.value().components_failed, 1u);
+  EXPECT_EQ(result.value().components_solved, 1u);
+  ASSERT_EQ(result.value().component_outcomes.size(), 2u);
+  EXPECT_TRUE(result.value().component_outcomes[0].used_prior);
+  EXPECT_EQ(result.value().component_outcomes[0].status,
+            StatusCode::kInternal);
+  // The surviving block still matches the clean run.
+  const auto [b2_first, b2_last] = index.BucketRange(2);
+  for (uint32_t v = b2_first; v < b2_last; ++v) {
+    EXPECT_NEAR(result.value().p[v], clean.p[v], 1e-6) << "var " << v;
+  }
+}
+
+TEST(DecomposedRobustnessTest, FallbackOffRestoresFailFastPropagation) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  AddConditional(t, index, &system, kQ4, kS1, 0.9);
+  AddConditional(t, index, &system, kQ5, kS5, 0.8);
+
+  ScopedFailpoints fp("pool_task_throw@1");
+  maxent::SolverOptions options;
+  options.threads = 1;
+  options.fallback = false;
+  auto result = maxent::SolveDecomposed(t, index, system,
+                                        maxent::SolverKind::kLbfgs, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("pool_task_throw"),
+            std::string::npos);
+}
+
+TEST(DecomposedRobustnessTest, CancelledRunReturnsPartialAnswerMarked) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  AddConditional(t, index, &system, kQ4, kS1, 0.9);
+
+  CancellationSource source;
+  source.Cancel();
+  maxent::SolverOptions options;
+  options.cancel = source.token();
+  auto result = maxent::SolveDecomposed(t, index, system,
+                                        maxent::SolverKind::kLbfgs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().termination, StatusCode::kCancelled);
+  EXPECT_TRUE(result.value().degraded);
+  for (double v : result.value().p) EXPECT_TRUE(std::isfinite(v));
+}
+
+// ------------------------------------------------- thread pool containment
+
+TEST(ThreadPoolRobustnessTest, TaskExceptionSurfacesAsStatusFromWait) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&] { ++ran; });
+  pool.Submit([&] { throw std::runtime_error("task boom"); });
+  pool.Submit([&] { ++ran; });
+  const Status status = pool.Wait();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("task boom"), std::string::npos);
+  EXPECT_EQ(ran.load(), 2);
+  // The error was consumed: the pool is reusable with a clean slate.
+  pool.Submit([&] { ++ran; });
+  EXPECT_TRUE(pool.Wait().ok());
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolRobustnessTest, ParallelForAttemptsEveryIndexDespiteThrow) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    std::vector<std::atomic<bool>> ran(8);
+    for (auto& r : ran) r = false;
+    const Status status =
+        ThreadPool::ParallelFor(threads, ran.size(), [&](size_t i) {
+          if (i == 2) throw std::runtime_error("index boom");
+          ran[i] = true;
+        });
+    EXPECT_FALSE(status.ok()) << threads;
+    EXPECT_EQ(status.code(), StatusCode::kInternal) << threads;
+    for (size_t i = 0; i < ran.size(); ++i) {
+      if (i == 2) continue;
+      EXPECT_TRUE(ran[i].load()) << "threads " << threads << " index " << i;
+    }
+  }
+}
+
+// --------------------------------------------------- PR2 ride-along tests
+
+TEST(StallGuardTest, PlateauExitsLongBeforeTheIterationBudget) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  auto problem = TwoComponentProblem(t, index, &system);
+
+  // ftol = 1.0 makes every accepted step count as stalled, so the guard
+  // alone bounds the iteration count far below the 20000 budget.
+  maxent::SolverOptions options;
+  options.ftol = 1.0;
+  options.max_stall_iterations = 1;
+  options.tolerance = 1e-14;  // unreachable: only the guard can stop it
+
+  auto steepest =
+      maxent::Solve(problem, maxent::SolverKind::kSteepest, options)
+          .ValueOrDie();
+  EXPECT_LE(steepest.iterations, 10u);
+  EXPECT_GE(steepest.iterations, 1u);
+
+  auto lbfgs = maxent::Solve(problem, maxent::SolverKind::kLbfgs, options)
+                   .ValueOrDie();
+  EXPECT_LE(lbfgs.iterations, 10u);
+  EXPECT_GE(lbfgs.iterations, 1u);
+}
+
+TEST(MonolithicFallbackTest, FractionRoutesBetweenWholeAndBlockSolves) {
+  auto t = pme::testing::MakeFigure1Table();
+  auto index = TermIndex::Build(t);
+  auto system = InvariantSystem(t, index);
+  AddConditional(t, index, &system, kQ4, kS1, 0.9);
+
+  maxent::SolverOptions whole, blocks;
+  whole.monolithic_fallback_fraction = 0.0;   // any coupled block routes
+  blocks.monolithic_fallback_fraction = 2.0;  // never route
+  auto mono = maxent::SolveDecomposed(t, index, system,
+                                      maxent::SolverKind::kLbfgs, whole)
+                  .ValueOrDie();
+  auto block = maxent::SolveDecomposed(t, index, system,
+                                       maxent::SolverKind::kLbfgs, blocks)
+                   .ValueOrDie();
+  EXPECT_TRUE(mono.used_monolithic_fallback);
+  EXPECT_FALSE(block.used_monolithic_fallback);
+  EXPECT_TRUE(block.component_outcomes.size() >= 1u);
+  ASSERT_EQ(mono.p.size(), block.p.size());
+  for (size_t i = 0; i < mono.p.size(); ++i) {
+    EXPECT_NEAR(mono.p[i], block.p[i], 1e-6) << i;
+  }
+}
+
+// --------------------------------------------------- malformed-input corpus
+
+TEST(CsvCorpusTest, BadFieldCountReportsLineAndByteOffset) {
+  data::CsvReadOptions options;
+  options.sensitive_attributes = {"disease"};
+  auto result = data::ReadCsv(CorpusPath("bad_field_count.csv"), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("byte offset 39"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(CsvCorpusTest, EmptyFileIsACleanError) {
+  data::CsvReadOptions options;
+  options.sensitive_attributes = {"disease"};
+  auto result = data::ReadCsv(CorpusPath("empty.csv"), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvCorpusTest, RaggedTailReportsTheOffendingLine) {
+  data::CsvReadOptions options;
+  options.sensitive_attributes = {"disease"};
+  auto result = data::ReadCsv(CorpusPath("ragged_tail.csv"), options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("line 4"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("byte offset 68"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("expected 3 fields, got 5"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(KnowledgeCorpusTest, EveryMalformedFileFailsCleanlyWithALocation) {
+  const char* files[] = {"bad_relation.bk", "prob_out_of_range.bk",
+                         "trailing.bk", "unknown_head.bk",
+                         "unterminated.bk"};
+  for (const char* name : files) {
+    knowledge::KnowledgeBase kb;
+    knowledge::ParserContext context;
+    const Status status =
+        knowledge::ParseKnowledge(ReadFileOrDie(CorpusPath(name)), context,
+                                  &kb);
+    ASSERT_FALSE(status.ok()) << name;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << name;
+    EXPECT_NE(status.message().find("line "), std::string::npos)
+        << name << ": " << status.message();
+    EXPECT_NE(status.message().find("byte offset "), std::string::npos)
+        << name << ": " << status.message();
+  }
+}
+
+TEST(KnowledgeCorpusTest, OutOfRangeProbabilityPointsAtTheSecondLine) {
+  knowledge::KnowledgeBase kb;
+  knowledge::ParserContext context;
+  const Status status = knowledge::ParseKnowledge(
+      ReadFileOrDie(CorpusPath("prob_out_of_range.bk")), context, &kb);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2 (byte offset 17)"),
+            std::string::npos)
+      << status.message();
+}
+
+// ------------------------------------------------------------- end to end
+
+TEST(EndToEndRobustnessTest, AnalysisNeverCrashesUnderTheFailpointMatrix) {
+  // CI runs this binary under a PME_FAILPOINTS matrix. Earlier tests have
+  // already consumed the lazy env read, so re-arm the spec explicitly;
+  // without the env variable this is a clean-run smoke test.
+  const char* env = std::getenv("PME_FAILPOINTS");
+  ScopedFailpoints fp(env == nullptr ? "" : env);
+
+  auto t = pme::testing::MakeFigure1Table();
+  knowledge::KnowledgeBase kb;
+  kb.Add(knowledge::AbstractConditional(kQ4, {kS1}, 0.9));
+  kb.Add(knowledge::AbstractConditional(kQ5, {kS5}, 0.8));
+  core::AnalysisOptions options;
+  options.solver_options.threads = 1;
+  options.solver_options.deadline = Deadline::AfterSeconds(30.0);
+
+  auto analysis = core::Analyze(t, kb, options);
+  if (!analysis.ok()) {
+    // A hard failure must still be a clean Status, never a crash.
+    EXPECT_FALSE(analysis.status().message().empty());
+    return;
+  }
+  const auto& posterior = analysis.value().posterior;
+  for (uint32_t q = 0; q < posterior.num_qi(); ++q) {
+    for (uint32_t s = 0; s < posterior.num_sa(); ++s) {
+      EXPECT_TRUE(std::isfinite(posterior.Conditional(q, s)));
+    }
+  }
+  for (double v : analysis.value().solver.p) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace pme

@@ -22,6 +22,7 @@
 
 #include "anonymize/anatomy.h"
 #include "anonymize/bucketized_table.h"
+#include "common/deadline.h"
 #include "common/flags.h"
 #include "common/string_util.h"
 #include "common/vec_math.h"
@@ -42,9 +43,10 @@ int Usage() {
                "           [--minsupport=N] [--maxattrs=T]\n"
                "  analyze  --data=FILE --sensitive=ATTR [--ell=L]\n"
                "           [--knowledge=FILE] [--solver=lbfgs|gis|iis|"
-               "steepest|newton]\n"
-               "           [--threads=N] [--simd=auto|off] [--report=FILE] "
-               "[--posterior=FILE]\n");
+               "steepest|newton|projected]\n"
+               "           [--threads=N] [--simd=auto|off] "
+               "[--deadline-ms=N] [--fallback=on|off]\n"
+               "           [--report=FILE] [--posterior=FILE]\n");
   return 2;
 }
 
@@ -112,6 +114,7 @@ pme::Result<pme::maxent::SolverKind> ParseSolver(const std::string& name) {
   if (name == "iis") return SolverKind::kIis;
   if (name == "steepest") return SolverKind::kSteepest;
   if (name == "newton") return SolverKind::kNewton;
+  if (name == "projected") return SolverKind::kProjected;
   return pme::Status::InvalidArgument("unknown solver: " + name);
 }
 
@@ -159,6 +162,20 @@ int RunAnalyze(const pme::Flags& flags) {
   // portable scalar path (posteriors agree to ~1e-10 either way).
   pme::kernels::SetSimdMode(
       pme::kernels::ParseSimdMode(flags.GetString("simd", "auto")));
+  // Wall-time budget for the whole solve. Components that run out of
+  // their share degrade to cheaper solvers or the closed-form prior
+  // rather than aborting the analysis (see --fallback).
+  const long long deadline_ms = flags.GetInt("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    options.solver_options.deadline = pme::Deadline::AfterMillis(
+        static_cast<int64_t>(deadline_ms));
+  }
+  const std::string fallback = flags.GetString("fallback", "on");
+  if (fallback != "on" && fallback != "off") {
+    return Fail(pme::Status::InvalidArgument(
+        "--fallback must be 'on' or 'off', got '" + fallback + "'"));
+  }
+  options.solver_options.fallback = fallback == "on";
 
   auto analysis = pme::core::Analyze(bz.value().table, kb, options,
                                      &bz.value().qi_encoder);
