@@ -1,0 +1,148 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_COMMON_HASH_H_
+#define PME_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace pme {
+
+/// A 128-bit content digest. Used as the key of the component solution
+/// cache: two coupled components with equal digests are treated as the
+/// same subproblem, so the digest must be stable across runs, platforms
+/// and endianness — never across releases that change the hashed content
+/// layout (bump the seed constants when that layout changes).
+struct Hash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Hash128& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const Hash128& other) const { return !(*this == other); }
+  bool operator<(const Hash128& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  /// 32-hex-digit rendering (hi then lo), for logs and golden tests.
+  std::string ToHex() const {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(32, '0');
+    uint64_t parts[2] = {hi, lo};
+    for (int p = 0; p < 2; ++p) {
+      for (int i = 0; i < 16; ++i) {
+        out[p * 16 + i] =
+            kDigits[(parts[p] >> (60 - 4 * i)) & 0xF];
+      }
+    }
+    return out;
+  }
+};
+
+/// Functor for unordered containers keyed by Hash128. The digest is
+/// already uniformly mixed, so one lane is a perfectly good bucket index.
+struct Hash128Hasher {
+  size_t operator()(const Hash128& h) const {
+    return static_cast<size_t>(h.lo);
+  }
+};
+
+/// Streaming 128-bit mixer in the FNV/xxhash family: two 64-bit lanes
+/// absorb the input one little-endian word at a time and are avalanched
+/// at the end. Not cryptographic — collision resistance is the
+/// birthday-bound of 128 bits against accidental collisions, which is
+/// what a content-addressed cache needs.
+///
+/// Endianness pinning: callers never feed raw struct memory; every
+/// Update overload decomposes its value into uint64 words arithmetically
+/// (bytes of strings are assembled low-byte-first), so the digest is
+/// identical on little- and big-endian hosts.
+class Hasher128 {
+ public:
+  Hasher128() = default;
+
+  /// Absorbs one 64-bit word.
+  void Update(uint64_t v) { Absorb(v); }
+  void Update(uint32_t v) { Absorb(v); }
+  void Update(int v) { Absorb(static_cast<uint64_t>(static_cast<int64_t>(v))); }
+
+  /// Absorbs a double by IEEE-754 bit pattern. Negative zero is
+  /// canonicalized to positive zero so numerically equal inputs cannot
+  /// produce distinct digests.
+  void Update(double v) {
+    if (v == 0.0) v = 0.0;  // -0.0 == 0.0 → canonical +0.0
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Absorb(bits);
+  }
+
+  /// Absorbs a byte string, length-prefixed (so "ab","c" != "a","bc").
+  void Update(std::string_view s) {
+    Absorb(static_cast<uint64_t>(s.size()));
+    uint64_t word = 0;
+    int n = 0;
+    for (unsigned char c : s) {
+      word |= static_cast<uint64_t>(c) << (8 * n);
+      if (++n == 8) {
+        Absorb(word);
+        word = 0;
+        n = 0;
+      }
+    }
+    if (n > 0) Absorb(word);
+  }
+
+  /// Absorbs a previously computed digest (for hash-of-hashes keys).
+  void Update(const Hash128& h) {
+    Absorb(h.hi);
+    Absorb(h.lo);
+  }
+
+  /// Finalizes the digest. The hasher may keep absorbing afterwards;
+  /// Finish is a pure function of the words absorbed so far.
+  Hash128 Finish() const {
+    uint64_t a = h1_ ^ Fmix(words_ * kC1);
+    uint64_t b = h2_ ^ Fmix(words_ * kC2);
+    a += b;
+    b += a;
+    return {Fmix(a), Fmix(b)};
+  }
+
+ private:
+  // Murmur3-style lane constants and finalizer.
+  static constexpr uint64_t kC1 = 0x87c37b91114253d5ULL;
+  static constexpr uint64_t kC2 = 0x4cf5ad432745937fULL;
+  static constexpr uint64_t kSeed1 = 0x9e3779b97f4a7c15ULL;  // golden ratio
+  static constexpr uint64_t kSeed2 = 0xc2b2ae3d27d4eb4fULL;  // xxh prime
+
+  static uint64_t Rotl(uint64_t v, int r) {
+    return (v << r) | (v >> (64 - r));
+  }
+
+  static uint64_t Fmix(uint64_t k) {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ULL;
+    k ^= k >> 33;
+    return k;
+  }
+
+  void Absorb(uint64_t w) {
+    h1_ = (Rotl(h1_ ^ Rotl(w * kC1, 31) * kC2, 27) + h2_) * 5 + 0x52dce729;
+    h2_ = (Rotl(h2_ ^ Rotl(w * kC2, 33) * kC1, 31) + h1_) * 5 + 0x38495ab5;
+    ++words_;
+  }
+
+  uint64_t h1_ = kSeed1;
+  uint64_t h2_ = kSeed2;
+  uint64_t words_ = 0;
+};
+
+}  // namespace pme
+
+#endif  // PME_COMMON_HASH_H_

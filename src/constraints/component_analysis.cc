@@ -1,6 +1,8 @@
 #include "constraints/component_analysis.h"
 
+#include <algorithm>
 #include <numeric>
+#include <utility>
 
 namespace pme::constraints {
 namespace {
@@ -80,6 +82,105 @@ ComponentAnalysis ComponentAnalysis::Build(const TermIndex& index,
   }
   for (const Component& comp : out.components_) {
     if (comp.coupled) ++out.num_coupled_;
+  }
+  return out;
+}
+
+Hash128 ConstraintRowSignature(const LinearConstraint& constraint) {
+  // Canonical support: zero coefficients dropped, duplicates summed,
+  // sorted by variable id — the row's content independent of the order
+  // its terms were emitted in.
+  std::vector<std::pair<uint32_t, double>> support;
+  support.reserve(constraint.vars.size());
+  for (size_t i = 0; i < constraint.vars.size(); ++i) {
+    if (constraint.coefs[i] == 0.0) continue;
+    support.emplace_back(constraint.vars[i], constraint.coefs[i]);
+  }
+  std::sort(support.begin(), support.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t w = 0;
+  for (size_t i = 0; i < support.size(); ++i) {
+    if (w > 0 && support[w - 1].first == support[i].first) {
+      support[w - 1].second += support[i].second;
+    } else {
+      support[w++] = support[i];
+    }
+  }
+  support.resize(w);
+
+  Hasher128 h;
+  h.Update(std::string_view("pme.row.v1"));
+  h.Update(static_cast<int>(constraint.rel));
+  h.Update(constraint.rhs);
+  h.Update(static_cast<uint64_t>(support.size()));
+  for (const auto& [var, coef] : support) {
+    h.Update(var);
+    h.Update(coef);
+  }
+  return h.Finish();
+}
+
+ComponentSignatures ComputeComponentSignatures(
+    const TermIndex& index, const ConstraintSystem& system,
+    const ComponentAnalysis& analysis) {
+  // Dense coupled-block numbering, mirroring SolveDecomposed.
+  std::vector<int64_t> block_of_component(analysis.num_components(), -1);
+  size_t num_blocks = 0;
+  for (size_t k = 0; k < analysis.num_components(); ++k) {
+    if (analysis.components()[k].coupled) {
+      block_of_component[k] = static_cast<int64_t>(num_blocks++);
+    }
+  }
+
+  ComponentSignatures out;
+  out.rows_hash.resize(num_blocks);
+  out.vars_hash.resize(num_blocks);
+
+  // Variable-structure digest per block: index-shape guard + the
+  // component's buckets with their materialized variable counts.
+  for (size_t k = 0; k < analysis.num_components(); ++k) {
+    const int64_t block = block_of_component[k];
+    if (block < 0) continue;
+    const auto& comp = analysis.components()[k];
+    Hasher128 h;
+    h.Update(std::string_view("pme.vars.v1"));
+    h.Update(static_cast<uint64_t>(index.num_variables()));
+    h.Update(static_cast<uint64_t>(index.num_buckets()));
+    h.Update(static_cast<uint64_t>(comp.buckets.size()));
+    for (uint32_t b : comp.buckets) {
+      const auto [first, last] = index.BucketRange(b);
+      h.Update(b);
+      h.Update(static_cast<uint64_t>(last - first));
+    }
+    out.vars_hash[static_cast<size_t>(block)] = h.Finish();
+  }
+
+  // Route every constraint row to its block (same rule as the solver:
+  // the first supported variable decides) and collect row signatures.
+  std::vector<std::vector<Hash128>> row_sigs(num_blocks);
+  for (const auto& c : system.constraints()) {
+    int64_t block = -1;
+    for (size_t i = 0; i < c.vars.size(); ++i) {
+      if (c.coefs[i] == 0.0) continue;
+      block = block_of_component[analysis.ComponentOf(
+          index.TermOf(c.vars[i]).bucket)];
+      break;
+    }
+    if (block < 0) continue;  // empty support or uncoupled component
+    row_sigs[static_cast<size_t>(block)].push_back(ConstraintRowSignature(c));
+  }
+
+  // Exact digest: the structure digest plus the sorted multiset of row
+  // signatures (sorted so the digest is independent of row order, which
+  // the solution is too).
+  for (size_t blk = 0; blk < num_blocks; ++blk) {
+    std::sort(row_sigs[blk].begin(), row_sigs[blk].end());
+    Hasher128 h;
+    h.Update(std::string_view("pme.rows.v1"));
+    h.Update(out.vars_hash[blk]);
+    h.Update(static_cast<uint64_t>(row_sigs[blk].size()));
+    for (const Hash128& sig : row_sigs[blk]) h.Update(sig);
+    out.rows_hash[blk] = h.Finish();
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hash.h"
 #include "constraints/system.h"
 #include "constraints/term_index.h"
 
@@ -63,6 +64,40 @@ class ComponentAnalysis {
   std::vector<uint32_t> bucket_component_;  // size num_buckets
   size_t num_coupled_ = 0;
 };
+
+/// Content signature of one constraint row: relation, bound, and the
+/// sorted (variable, coefficient) support with zero coefficients dropped
+/// and duplicate variables summed. Label and source are excluded — two
+/// rows with identical content constrain the solve identically. The
+/// digest is stable across runs and platforms (see common/hash.h), which
+/// is what lets a solution cached in one process serve another.
+Hash128 ConstraintRowSignature(const LinearConstraint& constraint);
+
+/// Per-coupled-component content digests, indexed by the *dense coupled
+/// block numbering* SolveDecomposed uses (components in id order,
+/// skipping uncoupled ones). Two digests per block:
+///
+///  - `vars_hash` identifies the component's variable structure only:
+///    its bucket ids and per-bucket variable counts, plus an index-shape
+///    guard (total variables/buckets). Equal vars_hash ⇒ the block's
+///    column selection — and therefore its posterior-slice layout and
+///    the meaning of a cached dual — is identical.
+///  - `rows_hash` extends vars_hash with the sorted multiset of row
+///    signatures of every constraint routed to the block (content
+///    including bounds). Equal rows_hash ⇒ byte-identical subproblem,
+///    so a cached solution can be scattered without re-solving.
+///
+/// The warm-start near-miss of the solution cache is exactly
+/// "vars_hash equal, rows_hash different": same variables, edited
+/// constraint rows.
+struct ComponentSignatures {
+  std::vector<Hash128> rows_hash;
+  std::vector<Hash128> vars_hash;
+};
+
+ComponentSignatures ComputeComponentSignatures(const TermIndex& index,
+                                               const ConstraintSystem& system,
+                                               const ComponentAnalysis& analysis);
 
 }  // namespace pme::constraints
 

@@ -43,6 +43,14 @@ Result<Analysis> Analyze(const anonymize::BucketizedTable& table,
         analysis.solver,
         maxent::SolveDecomposed(table, index, system, options.solver,
                                 options.solver_options));
+    // Per-block solve effort, aligned with the decomposition census's
+    // block numbering (component_outcomes are emitted in block-id order).
+    for (const auto& outcome : analysis.solver.component_outcomes) {
+      analysis.decomposition.coupled_component_iterations.push_back(
+          outcome.iterations);
+      analysis.decomposition.coupled_component_seconds.push_back(
+          outcome.seconds);
+    }
   } else {
     PME_ASSIGN_OR_RETURN(auto problem, maxent::BuildProblem(system));
     PME_ASSIGN_OR_RETURN(

@@ -81,6 +81,16 @@ std::string RenderPrivacyReport(const anonymize::BucketizedTable& table,
     out << "  degraded:          yes (fallback solver "
         << maxent::SolverKindToString(analysis.solver.kind) << ")\n";
   }
+  if (analysis.solver.cache_enabled) {
+    out << "  solution cache:    " << analysis.solver.cache_exact_hits
+        << " exact, " << analysis.solver.cache_warm_hits << " warm, "
+        << analysis.solver.cache_misses << " cold; "
+        << analysis.solver.cache_entries << " entries resident ("
+        << Fmt("%.2f MiB",
+               static_cast<double>(analysis.solver.cache_resident_doubles) *
+                   sizeof(double) / (1024.0 * 1024.0))
+        << ", " << analysis.solver.cache_evictions << " evicted)\n";
+  }
   out << "\n";
 
   out << "[privacy under this bound]\n";

@@ -2,17 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "common/deadline.h"
 #include "common/failpoint.h"
+#include "common/hash.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "maxent/closed_form.h"
 #include "maxent/problem.h"
+#include "maxent/solution_cache.h"
 
 namespace pme::maxent {
 
@@ -45,7 +49,64 @@ struct BlockSelection {
   std::vector<uint32_t> cols;       // full-space variable ids, ascending
   std::vector<uint32_t> eq_rows;    // rows of the full eq matrix
   std::vector<uint32_t> ineq_rows;  // rows of the full ineq matrix
+  // Per-row content signatures aligned with eq_rows / ineq_rows; only
+  // collected when a solution cache is consulted.
+  std::vector<Hash128> eq_row_sigs;
+  std::vector<Hash128> ineq_row_sigs;
 };
+
+/// The cache key of one block: its content digest plus the solve knobs
+/// that change the answer (tolerance, presolve). Two analyses asking for
+/// different precision must not serve each other's solutions.
+Hash128 MakeExactKey(const Hash128& rows_hash, const SolverOptions& options) {
+  Hasher128 h;
+  h.Update(std::string_view("pme.cachekey.v1"));
+  h.Update(rows_hash);
+  h.Update(options.tolerance);
+  h.Update(static_cast<uint64_t>(options.presolve ? 1 : 0));
+  return h.Finish();
+}
+
+/// Builds a warm-start vector in the block's original stacked row space
+/// from a cached entry: rows are matched by content signature (equality
+/// and inequality rows separately — their multipliers live in different
+/// sign regimes); unmatched rows — the toggled/edited statements — start
+/// at 0. Returns an empty vector when nothing matched (a zero vector is
+/// the cold start; passing it would only pretend to be warm).
+std::vector<double> BuildWarmStart(const CachedComponentSolution& cached,
+                                   const BlockSelection& sel) {
+  std::unordered_map<Hash128, double, Hash128Hasher> eq_lambda;
+  std::unordered_map<Hash128, double, Hash128Hasher> ineq_lambda;
+  if (cached.lambda_full.size() !=
+      cached.eq_row_sigs.size() + cached.ineq_row_sigs.size()) {
+    return {};
+  }
+  for (size_t j = 0; j < cached.eq_row_sigs.size(); ++j) {
+    eq_lambda.emplace(cached.eq_row_sigs[j], cached.lambda_full[j]);
+  }
+  for (size_t j = 0; j < cached.ineq_row_sigs.size(); ++j) {
+    ineq_lambda.emplace(cached.ineq_row_sigs[j],
+                        cached.lambda_full[cached.eq_row_sigs.size() + j]);
+  }
+  std::vector<double> warm(sel.eq_rows.size() + sel.ineq_rows.size(), 0.0);
+  size_t matched = 0;
+  for (size_t j = 0; j < sel.eq_row_sigs.size(); ++j) {
+    auto it = eq_lambda.find(sel.eq_row_sigs[j]);
+    if (it != eq_lambda.end()) {
+      warm[j] = it->second;
+      ++matched;
+    }
+  }
+  for (size_t j = 0; j < sel.ineq_row_sigs.size(); ++j) {
+    auto it = ineq_lambda.find(sel.ineq_row_sigs[j]);
+    if (it != ineq_lambda.end()) {
+      warm[sel.eq_rows.size() + j] = it->second;
+      ++matched;
+    }
+  }
+  if (matched == 0) return {};
+  return warm;
+}
 
 }  // namespace
 
@@ -117,6 +178,11 @@ Result<SolverResult> SolveDecomposed(
     return result;
   }
 
+  SolutionCache* const cache = options.solution_cache;
+  const bool cache_on =
+      cache != nullptr && options.cache_mode != CacheMode::kOff;
+  result.cache_enabled = cache_on;
+
   // Assemble the full constraint matrices once, then slice each block out
   // with Submatrix. Row numbering must mirror ToMatrices: equality rows in
   // constraint order, inequality rows (kLe, and kGe negated) likewise.
@@ -154,8 +220,47 @@ Result<SolverResult> SolveDecomposed(
       auto& sel = blocks[static_cast<size_t>(block)];
       if (is_eq) {
         sel.eq_rows.push_back(row);
+        if (cache_on) {
+          sel.eq_row_sigs.push_back(constraints::ConstraintRowSignature(c));
+        }
       } else {
         sel.ineq_rows.push_back(row);
+        if (cache_on) {
+          sel.ineq_row_sigs.push_back(constraints::ConstraintRowSignature(c));
+        }
+      }
+    }
+  }
+
+  // Solution-cache pre-pass: serial, in block-id order, so the census
+  // (hits/misses) is identical for any thread count. An exact hit (same
+  // rows digest) skips the block's solve entirely; under kWarm a
+  // structure-only hit (same variable set, edited rows) yields a warm
+  // dual matched row-by-row by content signature.
+  std::vector<std::shared_ptr<const CachedComponentSolution>> exact_hits(
+      blocks.size());
+  std::vector<std::vector<double>> warm_vectors(blocks.size());
+  std::vector<Hash128> exact_keys(blocks.size());
+  std::vector<Hash128> vars_keys(blocks.size());
+  if (cache_on) {
+    const constraints::ComponentSignatures sigs =
+        constraints::ComputeComponentSignatures(index, system, analysis);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      exact_keys[i] = MakeExactKey(sigs.rows_hash[i], options);
+      vars_keys[i] = sigs.vars_hash[i];
+      auto hit = cache->FindExact(exact_keys[i]);
+      if (hit != nullptr && hit->p.size() == blocks[i].cols.size()) {
+        exact_hits[i] = std::move(hit);
+        ++result.cache_exact_hits;
+        continue;
+      }
+      ++result.cache_misses;
+      if (options.cache_mode == CacheMode::kWarm) {
+        auto warm = cache->FindWarm(vars_keys[i]);
+        if (warm != nullptr) {
+          warm_vectors[i] = BuildWarmStart(*warm, blocks[i]);
+          if (!warm_vectors[i].empty()) ++result.cache_warm_hits;
+        }
       }
     }
   }
@@ -166,7 +271,12 @@ Result<SolverResult> SolveDecomposed(
   // serial run the shares are relative to each block's own start, with
   // the request deadline as the hard cap either way.
   size_t total_block_vars = 0;
-  for (const auto& block : blocks) total_block_vars += block.cols.size();
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    // Blocks answered from the cache consume no solve time; the deadline
+    // budget is shared among the blocks that actually run.
+    if (exact_hits[i] != nullptr) continue;
+    total_block_vars += blocks[i].cols.size();
+  }
   const double remaining_at_start = options.deadline.RemainingSeconds();
   std::vector<double> budget_seconds(blocks.size(), 0.0);
   for (size_t i = 0; i < blocks.size(); ++i) {
@@ -183,11 +293,17 @@ Result<SolverResult> SolveDecomposed(
   std::vector<std::optional<Result<SolverResult>>> block_results(
       blocks.size());
   std::vector<size_t> block_attempts(blocks.size(), 0);
+  std::vector<double> block_seconds(blocks.size(), 0.0);
   const size_t threads = ThreadPool::ResolveThreads(options.threads);
   const Status pool_status = ThreadPool::ParallelFor(
       threads, blocks.size(), [&](size_t i) {
+        if (exact_hits[i] != nullptr) return;  // answered from the cache
+        Timer block_timer;
         const BlockSelection& sel = blocks[i];
         SolverOptions block_options = options;
+        if (!warm_vectors[i].empty()) {
+          block_options.warm_start_original = &warm_vectors[i];
+        }
         if (!options.deadline.is_infinite()) {
           block_options.deadline = Deadline::Earlier(
               options.deadline, Deadline::AfterSeconds(budget_seconds[i]));
@@ -225,6 +341,7 @@ Result<SolverResult> SolveDecomposed(
           return Solve(sub, kind, block_options);
         };
         block_results[i] = solve_block();
+        block_seconds[i] = block_timer.ElapsedSeconds();
       });
 
   // Aggregate. With the fallback ladder on, a component whose every rung
@@ -239,6 +356,28 @@ Result<SolverResult> SolveDecomposed(
     outcome.num_variables = blocks[i].cols.size();
     outcome.attempts = block_attempts[i];
     outcome.solver = kind;
+    outcome.seconds = block_seconds[i];
+
+    if (exact_hits[i] != nullptr) {
+      // Scatter the cached posterior slice; no solve ran, so this block
+      // contributes zero iterations (the bench's speedup measurement)
+      // while its dual value and convergence flag still count toward the
+      // aggregate exactly as the original solve's did.
+      const CachedComponentSolution& cached = *exact_hits[i];
+      const auto& cols = blocks[i].cols;
+      for (size_t j = 0; j < cols.size(); ++j) {
+        result.p[cols[j]] = cached.p[j];
+      }
+      result.dual_value += cached.dual_value;
+      result.presolve_fixed += cached.presolve_fixed;
+      result.converged = result.converged && cached.converged;
+      outcome.status = StatusCode::kOk;
+      outcome.cache = CacheOutcome::kExactHit;
+      ++result.components_solved;
+      result.component_outcomes.push_back(outcome);
+      continue;
+    }
+    if (!warm_vectors[i].empty()) outcome.cache = CacheOutcome::kWarmStart;
 
     Status block_error = Status::Ok();
     const SolverResult* sub = nullptr;
@@ -253,6 +392,7 @@ Result<SolverResult> SolveDecomposed(
     } else {
       sub = &block_results[i]->value();
     }
+    if (sub != nullptr) outcome.iterations = sub->iterations;
 
     if (!options.fallback) {
       if (!block_error.ok()) return block_error;
@@ -328,6 +468,33 @@ Result<SolverResult> SolveDecomposed(
     result.component_outcomes.push_back(outcome);
   }
   if (!options.fallback && !pool_status.ok()) return pool_status;
+
+  // Publish freshly solved, acceptable block solutions — serially and in
+  // block-id order, so insertions (and therefore evictions and the whole
+  // cache census) are identical for any --threads value.
+  if (cache_on) {
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      if (exact_hits[i] != nullptr) continue;
+      if (!block_results[i].has_value() || !block_results[i]->ok()) continue;
+      const SolverResult& sub = block_results[i]->value();
+      if (!IsAcceptable(sub, options)) continue;
+      CachedComponentSolution entry;
+      entry.p = sub.p;
+      entry.lambda_full = sub.dual_lambda_full;
+      entry.eq_row_sigs = blocks[i].eq_row_sigs;
+      entry.ineq_row_sigs = blocks[i].ineq_row_sigs;
+      entry.dual_value = sub.dual_value;
+      entry.iterations = sub.iterations;
+      entry.presolve_fixed = sub.presolve_fixed;
+      entry.converged = sub.converged;
+      cache->Insert(exact_keys[i], vars_keys[i], std::move(entry));
+    }
+    const SolutionCacheStats stats = cache->Stats();
+    result.cache_entries = stats.entries;
+    result.cache_evictions = stats.evictions;
+    result.cache_resident_doubles = stats.resident_doubles;
+  }
+
   result.degraded =
       result.components_degraded > 0 || result.components_failed > 0;
   // A cooperative cancel outranks per-component bookkeeping: the caller

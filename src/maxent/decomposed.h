@@ -64,6 +64,13 @@ struct DecompositionStats {
   size_t num_components = 0;
   size_t num_coupled_components = 0;
   std::vector<size_t> coupled_component_variables;
+  /// Per-coupled-block solve effort of the *last* decomposed solve, in
+  /// block-id order (dual iterations and wall seconds; 0 / ~0 for exact
+  /// cache hits). Filled by the pipeline from
+  /// SolverResult::component_outcomes — AnalyzeDecomposition alone leaves
+  /// them empty (it never solves).
+  std::vector<size_t> coupled_component_iterations;
+  std::vector<double> coupled_component_seconds;
 };
 
 DecompositionStats AnalyzeDecomposition(

@@ -158,18 +158,27 @@ Result<PresolvedProblem> Presolve(const MaxEntProblem& problem, double tol) {
     }
   }
 
+  // Rebuild surviving rows. `rows` holds the eq rows first then the
+  // ineq rows, each in original order, so the row maps fall out of the
+  // same pass that emits the reduced matrices.
+  out.eq_row_map.assign(problem.eq.rows(), -1);
+  out.ineq_row_map.assign(problem.ineq.rows(), -1);
   linalg::SparseMatrixBuilder eq_builder(next);
   linalg::SparseMatrixBuilder ineq_builder(next);
-  for (const WorkRow& row : rows) {
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const WorkRow& row = rows[r];
     if (!row.active) continue;
     std::vector<uint32_t> vars(row.vars.size());
     for (size_t i = 0; i < row.vars.size(); ++i) {
       vars[i] = static_cast<uint32_t>(out.var_map[row.vars[i]]);
     }
     if (row.is_eq) {
+      out.eq_row_map[r] = static_cast<int64_t>(out.reduced.eq_rhs.size());
       PME_RETURN_IF_ERROR(eq_builder.AddRow(vars, row.coefs));
       out.reduced.eq_rhs.push_back(row.rhs);
     } else {
+      out.ineq_row_map[r - problem.eq.rows()] =
+          static_cast<int64_t>(out.reduced.ineq_rhs.size());
       PME_RETURN_IF_ERROR(ineq_builder.AddRow(vars, row.coefs));
       out.reduced.ineq_rhs.push_back(row.rhs);
     }

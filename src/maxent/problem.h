@@ -53,6 +53,14 @@ struct PresolvedProblem {
   /// Value of each fixed variable (0 unless pinned by a singleton row).
   std::vector<double> fixed_values;
   size_t num_fixed = 0;
+  /// original eq row -> reduced eq row id, or -1 when presolve resolved
+  /// the row (zero forcing / singleton / vacuous). Row order is
+  /// preserved, so these maps carry dual multipliers between the
+  /// original and reduced row spaces — the warm-start transport for
+  /// cached re-analysis.
+  std::vector<int64_t> eq_row_map;
+  /// original ineq row -> reduced ineq row id, or -1 when resolved.
+  std::vector<int64_t> ineq_row_map;
 
   /// Scatters a reduced-space solution into the full variable space.
   std::vector<double> Restore(const std::vector<double>& reduced_p) const;

@@ -1,0 +1,144 @@
+#include "maxent/solution_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace pme::maxent {
+
+SolutionCache::SolutionCache(size_t byte_budget)
+    : byte_budget_(byte_budget),
+      // Each shard owns an equal slice of the budget, floored at one
+      // double so a tiny budget still admits (and immediately bounds)
+      // entries instead of dividing to zero.
+      shard_budget_doubles_(
+          std::max<size_t>(byte_budget / sizeof(double) / kNumShards, 1)) {}
+
+std::shared_ptr<const CachedComponentSolution> SolutionCache::FindExact(
+    const Hash128& exact_key) {
+  Shard& shard = ShardOf(exact_key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(exact_key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  // Refresh the LRU position: a hit entry is the last to be evicted.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  ++shard.exact_hits;
+  return it->second.solution;
+}
+
+std::shared_ptr<const CachedComponentSolution> SolutionCache::FindWarm(
+    const Hash128& vars_key) {
+  Hash128 exact_key;
+  {
+    Shard& shard = ShardOf(vars_key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.warm_index.find(vars_key);
+    if (it == shard.warm_index.end()) return nullptr;
+    exact_key = it->second;
+  }
+  // The entry lives in the exact key's shard; it may have been evicted
+  // since the warm pointer was written — drop the stale pointer then.
+  std::shared_ptr<const CachedComponentSolution> found;
+  {
+    Shard& shard = ShardOf(exact_key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(exact_key);
+    if (it != shard.entries.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      ++shard.warm_hits;
+      found = it->second.solution;
+    }
+  }
+  if (found == nullptr) {
+    Shard& shard = ShardOf(vars_key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.warm_index.find(vars_key);
+    if (it != shard.warm_index.end() && it->second == exact_key) {
+      shard.warm_index.erase(it);
+    }
+  }
+  return found;
+}
+
+void SolutionCache::Insert(const Hash128& exact_key, const Hash128& vars_key,
+                           CachedComponentSolution solution) {
+  auto shared =
+      std::make_shared<const CachedComponentSolution>(std::move(solution));
+  const size_t doubles = shared->ResidentDoubles();
+  {
+    Shard& shard = ShardOf(exact_key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(exact_key);
+    if (it != shard.entries.end()) {
+      // Replace in place (same key, refreshed content — e.g. a tighter
+      // re-solve of the same component).
+      shard.resident_doubles -= it->second.solution->ResidentDoubles();
+      shard.resident_doubles += doubles;
+      it->second.solution = std::move(shared);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    } else {
+      shard.lru.push_front(exact_key);
+      shard.entries.emplace(exact_key,
+                            Entry{std::move(shared), shard.lru.begin()});
+      shard.resident_doubles += doubles;
+      ++shard.insertions;
+    }
+    EvictLocked(shard, shard_budget_doubles_);
+    // Failpoint `cache_evict_race`: a deterministic stand-in for an
+    // eviction storm racing concurrent lookups — every entry of this
+    // shard (including the one just inserted) is thrown out, so warm
+    // pointers dangle and in-flight shared_ptr handles outlive their
+    // entries. Correctness must not depend on residency.
+    if (PME_FAILPOINT("cache_evict_race")) {
+      EvictLocked(shard, 0);
+    }
+  }
+  {
+    Shard& shard = ShardOf(vars_key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.warm_index[vars_key] = exact_key;
+  }
+}
+
+void SolutionCache::EvictLocked(Shard& shard, size_t budget_doubles) {
+  while (shard.resident_doubles > budget_doubles && !shard.lru.empty()) {
+    const Hash128 victim = shard.lru.back();
+    auto it = shard.entries.find(victim);
+    shard.resident_doubles -= it->second.solution->ResidentDoubles();
+    shard.entries.erase(it);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void SolutionCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.lru.clear();
+    shard.warm_index.clear();
+    shard.resident_doubles = 0;
+  }
+}
+
+SolutionCacheStats SolutionCache::Stats() const {
+  SolutionCacheStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(
+        const_cast<Shard&>(shard).mutex);
+    stats.exact_hits += shard.exact_hits;
+    stats.warm_hits += shard.warm_hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.entries.size();
+    stats.resident_doubles += shard.resident_doubles;
+  }
+  return stats;
+}
+
+}  // namespace pme::maxent

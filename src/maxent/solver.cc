@@ -54,6 +54,18 @@ double ProblemViolation(const MaxEntProblem& problem,
 
 }  // namespace
 
+const char* CacheModeToString(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kOff:
+      return "off";
+    case CacheMode::kExact:
+      return "exact";
+    case CacheMode::kWarm:
+      return "warm";
+  }
+  return "unknown";
+}
+
 const char* SolverKindToString(SolverKind kind) {
   switch (kind) {
     case SolverKind::kLbfgs:
@@ -89,9 +101,53 @@ Result<SolverResult> Solve(const MaxEntProblem& problem, SolverKind kind,
     for (size_t v = 0; v < problem.num_vars; ++v) {
       pre.var_map[v] = static_cast<int64_t>(v);
     }
+    pre.eq_row_map.resize(problem.eq.rows());
+    for (size_t r = 0; r < problem.eq.rows(); ++r) {
+      pre.eq_row_map[r] = static_cast<int64_t>(r);
+    }
+    pre.ineq_row_map.resize(problem.ineq.rows());
+    for (size_t r = 0; r < problem.ineq.rows(); ++r) {
+      pre.ineq_row_map[r] = static_cast<int64_t>(r);
+    }
   }
   result.presolve_fixed = pre.num_fixed;
   const MaxEntProblem& reduced = pre.reduced;
+
+  // An original-row-space warm start (cached re-analysis) is carried
+  // into the reduced dual space through the presolve row maps. The
+  // reduced-space `warm_start` wins when both are set — it came from a
+  // solve of this very problem (the fallback ladder) and is exact.
+  SolverOptions solve_options = options;
+  std::vector<double> mapped_warm;
+  if (options.warm_start == nullptr &&
+      options.warm_start_original != nullptr &&
+      options.warm_start_original->size() ==
+          problem.eq.rows() + problem.ineq.rows()) {
+    bool finite = true;
+    for (double v : *options.warm_start_original) {
+      if (!std::isfinite(v)) {
+        finite = false;
+        break;
+      }
+    }
+    if (finite) {
+      mapped_warm.assign(reduced.eq.rows() + reduced.ineq.rows(), 0.0);
+      const auto& w = *options.warm_start_original;
+      for (size_t r = 0; r < problem.eq.rows(); ++r) {
+        if (pre.eq_row_map[r] >= 0) {
+          mapped_warm[static_cast<size_t>(pre.eq_row_map[r])] = w[r];
+        }
+      }
+      for (size_t r = 0; r < problem.ineq.rows(); ++r) {
+        if (pre.ineq_row_map[r] >= 0) {
+          mapped_warm[reduced.eq.rows() +
+                      static_cast<size_t>(pre.ineq_row_map[r])] =
+              w[problem.eq.rows() + r];
+        }
+      }
+      solve_options.warm_start = &mapped_warm;
+    }
+  }
 
   std::vector<double> reduced_p(reduced.num_vars, 0.0);
   if (reduced.num_vars > 0) {
@@ -104,32 +160,35 @@ Result<SolverResult> Solve(const MaxEntProblem& problem, SolverKind kind,
       DualFunction dual(&stacked, &rhs);
       PME_ASSIGN_OR_RETURN(
           outcome,
-          internal::MinimizeProjected(dual, reduced.eq.rows(), options));
+          internal::MinimizeProjected(dual, reduced.eq.rows(),
+                                      solve_options));
       reduced_p = dual.Primal(outcome.lambda);
     } else {
       DualFunction dual(&reduced.eq, &reduced.eq_rhs);
       switch (kind) {
         case SolverKind::kLbfgs: {
           PME_ASSIGN_OR_RETURN(outcome,
-                               internal::MinimizeLbfgs(dual, options));
+                               internal::MinimizeLbfgs(dual, solve_options));
           break;
         }
         case SolverKind::kGis: {
-          PME_ASSIGN_OR_RETURN(outcome, internal::MinimizeGis(dual, options));
+          PME_ASSIGN_OR_RETURN(outcome,
+                               internal::MinimizeGis(dual, solve_options));
           break;
         }
         case SolverKind::kIis: {
-          PME_ASSIGN_OR_RETURN(outcome, internal::MinimizeIis(dual, options));
+          PME_ASSIGN_OR_RETURN(outcome,
+                               internal::MinimizeIis(dual, solve_options));
           break;
         }
         case SolverKind::kSteepest: {
-          PME_ASSIGN_OR_RETURN(outcome,
-                               internal::MinimizeSteepest(dual, options));
+          PME_ASSIGN_OR_RETURN(
+              outcome, internal::MinimizeSteepest(dual, solve_options));
           break;
         }
         case SolverKind::kNewton: {
           PME_ASSIGN_OR_RETURN(outcome,
-                               internal::MinimizeNewton(dual, options));
+                               internal::MinimizeNewton(dual, solve_options));
           break;
         }
         case SolverKind::kProjected: {
@@ -137,8 +196,8 @@ Result<SolverResult> Solve(const MaxEntProblem& problem, SolverKind kind,
           // Barzilai–Borwein gradient descent — the fallback chain's
           // curvature-free restart rung.
           PME_ASSIGN_OR_RETURN(
-              outcome,
-              internal::MinimizeProjected(dual, reduced.eq.rows(), options));
+              outcome, internal::MinimizeProjected(dual, reduced.eq.rows(),
+                                                   solve_options));
           break;
         }
       }
@@ -151,6 +210,26 @@ Result<SolverResult> Solve(const MaxEntProblem& problem, SolverKind kind,
     result.dual_lambda = std::move(outcome.lambda);
   } else {
     result.converged = true;
+  }
+
+  // Scatter the reduced dual back onto the original rows (dropped rows
+  // at 0): the row-stable warm-start payload the solution cache stores.
+  result.dual_lambda_full.assign(problem.eq.rows() + problem.ineq.rows(),
+                                 0.0);
+  if (!result.dual_lambda.empty()) {
+    for (size_t r = 0; r < problem.eq.rows(); ++r) {
+      if (pre.eq_row_map[r] >= 0) {
+        result.dual_lambda_full[r] =
+            result.dual_lambda[static_cast<size_t>(pre.eq_row_map[r])];
+      }
+    }
+    for (size_t r = 0; r < problem.ineq.rows(); ++r) {
+      if (pre.ineq_row_map[r] >= 0) {
+        result.dual_lambda_full[problem.eq.rows() + r] =
+            result.dual_lambda[reduced.eq.rows() +
+                               static_cast<size_t>(pre.ineq_row_map[r])];
+      }
+    }
   }
 
   result.p = pre.Restore(reduced_p);

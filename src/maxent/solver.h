@@ -31,6 +31,31 @@ enum class SolverKind : int {
 
 const char* SolverKindToString(SolverKind kind);
 
+class SolutionCache;  // maxent/solution_cache.h
+
+/// What SolveDecomposed may reuse from a SolutionCache:
+///  - kOff: never consult the cache (it is not even read).
+///  - kExact: scatter a cached solution when a component's constraint
+///    rows are byte-identical to a previous solve; otherwise solve cold.
+///  - kWarm: kExact, plus warm-start the dual of a component whose
+///    variable set matches a cached entry but whose rows changed
+///    (the single-statement-toggle case) from the cached multipliers.
+/// Solutions are inserted under every mode except kOff.
+enum class CacheMode : int {
+  kOff = 0,
+  kExact = 1,
+  kWarm = 2,
+};
+
+const char* CacheModeToString(CacheMode mode);
+
+/// How a component's answer relates to the solution cache this solve.
+enum class CacheOutcome : int {
+  kNone = 0,       ///< cache off, or a cold solve (miss)
+  kExactHit = 1,   ///< cached solution scattered, no solve ran
+  kWarmStart = 2,  ///< solved, dual warm-started from a cached entry
+};
+
 /// Tuning knobs common to all solvers.
 struct SolverOptions {
   /// Iteration budget for the dual minimization. Iterations are cheap
@@ -92,6 +117,24 @@ struct SolverOptions {
   /// next rung from the best point so far, and by warm-started
   /// re-analysis.
   const std::vector<double>* warm_start = nullptr;
+  /// Like `warm_start`, but in the problem's *original* stacked row
+  /// space — equality rows first (matrix row order), inequality rows
+  /// after — before presolve. Solve maps it through the presolve row
+  /// maps into the reduced dual space, so a warm start survives a
+  /// *different* presolve than the one that produced it (the cached
+  /// re-analysis case: an edited component drops/keeps different rows).
+  /// Ignored when the size does not match eq.rows() + ineq.rows(), any
+  /// entry is non-finite, or `warm_start` is also set (the reduced-space
+  /// start is more specific and wins). Not owned; must outlive Solve.
+  const std::vector<double>* warm_start_original = nullptr;
+  /// Component-solution cache consulted by SolveDecomposed (see
+  /// maxent/solution_cache.h). Not owned; null disables caching
+  /// regardless of `cache_mode`. The monolithic path (Solve, or the
+  /// monolithic fallback) never consults the cache — there is no
+  /// component granularity to key on.
+  SolutionCache* solution_cache = nullptr;
+  /// What to reuse from `solution_cache` (off | exact | warm).
+  CacheMode cache_mode = CacheMode::kWarm;
   /// SolveDecomposed: when a component's solve fails (non-finite
   /// iterate, injected fault, deadline, hard error), walk it down the
   /// degradation ladder — projected-gradient restart from best-so-far,
@@ -133,6 +176,15 @@ struct ComponentOutcome {
   /// closed-form no-knowledge prior — the component's answer ignores its
   /// knowledge constraints and overstates privacy for those buckets.
   bool used_prior = false;
+  /// Dual iterations this block's solve performed (0 for an exact cache
+  /// hit — no solve ran). The warm-vs-cold iteration reduction of the
+  /// incremental-reanalysis bench is measured from exactly this field.
+  size_t iterations = 0;
+  /// Wall-clock seconds of this block's solve (slicing + solve; for an
+  /// exact hit, just the scatter bookkeeping).
+  double seconds = 0.0;
+  /// Cache relationship of this block's answer.
+  CacheOutcome cache = CacheOutcome::kNone;
 };
 
 /// Outcome of a MaxEnt solve.
@@ -165,9 +217,16 @@ struct SolverResult {
   /// when the returned point is non-finite.
   StatusCode termination = StatusCode::kOk;
   /// The dual multipliers of the reduced (post-presolve) problem — the
-  /// warm-start payload for SolverOptions::warm_start. Empty for
-  /// decomposed solves (block duals do not concatenate meaningfully).
+  /// warm-start payload for SolverOptions::warm_start. Populated by
+  /// every solver kind, converged or not (iterative scaling included).
+  /// Empty for decomposed solves (block duals do not concatenate
+  /// meaningfully; per-block duals live in the solution cache).
   std::vector<double> dual_lambda;
+  /// The same multipliers scattered back to the *original* stacked row
+  /// space (equality rows first, then inequality rows; presolve-dropped
+  /// rows at 0) — the payload for SolverOptions::warm_start_original and
+  /// the form the solution cache stores. Empty for decomposed solves.
+  std::vector<double> dual_lambda_full;
   /// True when any part of the answer was produced below the requested
   /// solver (fallback rung or closed-form prior).
   bool degraded = false;
@@ -180,6 +239,18 @@ struct SolverResult {
   size_t components_failed = 0;
   /// One record per coupled component (empty for monolithic solves).
   std::vector<ComponentOutcome> component_outcomes;
+  /// Solution-cache census of *this* solve (all zero when no cache was
+  /// consulted): blocks answered from the cache without solving, blocks
+  /// solved with a warm-started dual, and blocks solved cold.
+  size_t cache_exact_hits = 0;
+  size_t cache_warm_hits = 0;
+  size_t cache_misses = 0;
+  /// True when a SolutionCache was consulted (drives report rendering).
+  bool cache_enabled = false;
+  /// Cache-wide census snapshot taken after this solve's insertions.
+  size_t cache_entries = 0;
+  size_t cache_evictions = 0;
+  size_t cache_resident_doubles = 0;
 };
 
 /// Solves the MaxEnt problem with the chosen solver.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/hash.h"
 #include "common/math_util.h"
 #include "common/prng.h"
 #include "common/status.h"
@@ -333,6 +334,84 @@ TEST(FlagsTest, NonNumericFallsBackToDefault) {
   const char* argv[] = {"prog", "--k=abc"};
   Flags flags(2, const_cast<char**>(argv));
   EXPECT_EQ(flags.GetInt("k", 3), 3);
+}
+
+// ---------------------------------------------------------------- Hash128
+
+// Golden digests. The solution cache persists nothing today, but its keys
+// must stay stable across compilers, platforms and refactors — a silent
+// change to the mixer would turn every warm cache cold (or worse, alias
+// distinct components). If one of these fails, the hash changed: bump the
+// domain tags ("pme.row.v1" etc.) rather than silently re-keying.
+TEST(Hash128Test, GoldenEmpty) {
+  Hasher128 h;
+  EXPECT_EQ(h.Finish().ToHex(), "af2a59084670eb50f5abfd97d5672c76");
+}
+
+TEST(Hash128Test, GoldenWordSequence) {
+  Hasher128 h;
+  h.Update(uint64_t{1});
+  h.Update(uint64_t{2});
+  h.Update(uint64_t{3});
+  EXPECT_EQ(h.Finish().ToHex(), "09889f405272defb2be801244d84834c");
+}
+
+TEST(Hash128Test, GoldenString) {
+  Hasher128 h;
+  h.Update(std::string_view("privacy-maxent"));
+  EXPECT_EQ(h.Finish().ToHex(), "5c112397829cf42b84f0c39e2ea7d72a");
+}
+
+TEST(Hash128Test, GoldenDoubles) {
+  Hasher128 h;
+  h.Update(0.25);
+  h.Update(-3.5);
+  EXPECT_EQ(h.Finish().ToHex(), "6a04a80432c4ab7a68bfb7ffab20bdb9");
+}
+
+TEST(Hash128Test, NegativeZeroCanonicalized) {
+  Hasher128 a, b;
+  a.Update(-0.0);
+  b.Update(0.0);
+  EXPECT_EQ(a.Finish(), b.Finish());
+}
+
+TEST(Hash128Test, OrderAndBoundariesMatter) {
+  Hasher128 ab_c, a_bc;
+  ab_c.Update(std::string_view("ab"));
+  ab_c.Update(std::string_view("c"));
+  a_bc.Update(std::string_view("a"));
+  a_bc.Update(std::string_view("bc"));
+  // Length prefixing keeps concatenation ambiguity out of the digest.
+  EXPECT_NE(ab_c.Finish(), a_bc.Finish());
+
+  Hasher128 fwd, rev;
+  fwd.Update(uint64_t{7});
+  fwd.Update(uint64_t{9});
+  rev.Update(uint64_t{9});
+  rev.Update(uint64_t{7});
+  EXPECT_NE(fwd.Finish(), rev.Finish());
+}
+
+TEST(Hash128Test, SingleBitSensitivity) {
+  Hasher128 a, b;
+  a.Update(uint64_t{0});
+  b.Update(uint64_t{1});
+  const Hash128 ha = a.Finish(), hb = b.Finish();
+  EXPECT_NE(ha, hb);
+  // Both words must react — the warm index keys on the full digest but
+  // shards on hi and the std-hasher uses lo.
+  EXPECT_NE(ha.hi, hb.hi);
+  EXPECT_NE(ha.lo, hb.lo);
+}
+
+TEST(Hash128Test, ComparisonAndHexFormat) {
+  const Hash128 small{1, 2};
+  const Hash128 big{2, 1};
+  EXPECT_TRUE(small < big);
+  EXPECT_FALSE(big < small);
+  EXPECT_EQ(small.ToHex().size(), 32u);
+  EXPECT_EQ(Hash128{}.ToHex(), std::string(32, '0'));
 }
 
 }  // namespace
