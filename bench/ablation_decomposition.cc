@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   auto pipeline = pme::bench::BuildStandardPipeline(scale, 3);
   const size_t total_buckets = pipeline.bucketization.table.num_buckets();
 
-  pme::core::CsvWriter csv(
+  pme::bench::CsvWriter csv(
       scale.csv_path,
       {"k", "relevant_buckets", "components", "coupled_components",
        "sec_monolithic", "sec_decomposed", "speedup"});

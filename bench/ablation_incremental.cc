@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   std::printf("# records=%zu threads=%zu\n", scale.records, scale.threads);
   auto pipeline = pme::bench::BuildStandardPipeline(scale, 3);
 
-  pme::core::CsvWriter csv(
+  pme::bench::CsvWriter csv(
       scale.csv_path,
       {"k", "sec_cold", "sec_exact", "speedup_exact", "iters_toggle_cold",
        "iters_toggle_warm", "iter_reduction_warm"});

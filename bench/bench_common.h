@@ -19,8 +19,10 @@
 #ifndef PME_BENCH_BENCH_COMMON_H_
 #define PME_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,6 +61,56 @@ inline BenchScale ResolveScale(const Flags& flags, size_t default_records) {
   scale.json_path = flags.GetString("json", "");
   return scale;
 }
+
+/// --maxattrs: widest QI subset the miner considers. The small-scale
+/// default is 3 everywhere; the paper-scale default varies per figure.
+inline size_t MaxAttrsFlag(const Flags& flags, const BenchScale& scale,
+                           size_t full_default) {
+  return static_cast<size_t>(
+      flags.GetInt("maxattrs", scale.full ? full_default : 3));
+}
+
+/// --kmax: largest knowledge budget K in a sweep, capped at `available`
+/// (e.g. the number of mined rules) and at a per-figure paper-scale limit.
+inline size_t KMaxFlag(const Flags& flags, const BenchScale& scale,
+                       size_t full_cap, size_t available = SIZE_MAX) {
+  const size_t cap =
+      std::min(available, scale.full ? full_cap : size_t{800});
+  return static_cast<size_t>(
+      flags.GetInt("kmax", static_cast<long long>(cap)));
+}
+
+/// Minimal CSV emitter for bench series (one header + rows of doubles).
+/// An empty path disables output (all writes become no-ops).
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header) {
+    if (path.empty()) return;
+    out_.open(path);
+    if (!out_) {
+      ok_ = false;
+      return;
+    }
+    out_ << Join(header, ",") << "\n";
+  }
+
+  /// Appends one row.
+  void Row(const std::vector<double>& values) {
+    if (!out_.is_open()) return;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out_ << ",";
+      out_ << FormatDouble(values[i]);
+    }
+    out_ << "\n";
+  }
+
+  /// True when the file opened successfully (or output is disabled).
+  bool ok() const { return ok_; }
+
+ private:
+  std::ofstream out_;
+  bool ok_ = true;
+};
 
 /// Minimal JSON emitter for bench result files: one top-level object of
 /// scalar fields plus a "series" array of flat row objects. The file is

@@ -17,8 +17,7 @@
 int main(int argc, char** argv) {
   pme::Flags flags(argc, argv);
   const auto scale = pme::bench::ResolveScale(flags, 1000);
-  const size_t max_attrs =
-      static_cast<size_t>(flags.GetInt("maxattrs", scale.full ? 8 : 3));
+  const size_t max_attrs = pme::bench::MaxAttrsFlag(flags, scale, 8);
 
   std::printf("# Figure 5 reproduction: estimation accuracy vs K\n");
   std::printf("# records=%zu full=%d\n", scale.records, scale.full);
@@ -27,12 +26,8 @@ int main(int argc, char** argv) {
   for (const auto& r : pipeline.rules) (r.positive ? pos : neg) += 1;
   std::printf("# mined rules: %zu positive, %zu negative\n", pos, neg);
 
-  const size_t max_k = static_cast<size_t>(
-      flags.GetInt("kmax", static_cast<long long>(
-                               std::min(pos + neg, scale.full
-                                                       ? size_t{150000}
-                                                       : size_t{800}))));
-  pme::core::CsvWriter csv(scale.csv_path,
+  const size_t max_k = pme::bench::KMaxFlag(flags, scale, 150000, pos + neg);
+  pme::bench::CsvWriter csv(scale.csv_path,
                            {"k", "acc_neg", "acc_pos", "acc_mixed"});
 
   std::printf("%10s %14s %14s %14s\n", "K", "K- (neg)", "K+ (pos)",

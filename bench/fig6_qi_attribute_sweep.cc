@@ -25,12 +25,11 @@ int main(int argc, char** argv) {
               max_t);
   auto pipeline = pme::bench::BuildStandardPipeline(scale, max_t);
 
-  const size_t max_k = static_cast<size_t>(flags.GetInt(
-      "kmax", scale.full ? 300000 : 800));
+  const size_t max_k = pme::bench::KMaxFlag(flags, scale, 300000);
 
   std::vector<std::string> header = {"k"};
   for (size_t t = 1; t <= max_t; ++t) header.push_back("T" + std::to_string(t));
-  pme::core::CsvWriter csv(scale.csv_path, header);
+  pme::bench::CsvWriter csv(scale.csv_path, header);
 
   // Pre-split the rules by T.
   std::vector<std::vector<pme::knowledge::AssociationRule>> by_t(max_t + 1);

@@ -19,8 +19,7 @@
 int main(int argc, char** argv) {
   pme::Flags flags(argc, argv);
   const auto scale = pme::bench::ResolveScale(flags, 1500);
-  const size_t max_attrs =
-      static_cast<size_t>(flags.GetInt("maxattrs", scale.full ? 4 : 3));
+  const size_t max_attrs = pme::bench::MaxAttrsFlag(flags, scale, 4);
 
   std::printf("# Figure 7(a) reproduction: solver cost vs #BK constraints\n");
   std::printf("# records=%zu full=%d (no Section-5.5 decomposition)\n",
@@ -28,7 +27,7 @@ int main(int argc, char** argv) {
   auto pipeline = pme::bench::BuildStandardPipeline(scale, max_attrs);
   std::printf("# available rules: %zu\n", pipeline.rules.size());
 
-  pme::core::CsvWriter csv(scale.csv_path,
+  pme::bench::CsvWriter csv(scale.csv_path,
                            {"constraints", "seconds", "iterations"});
 
   pme::core::AnalysisOptions options;

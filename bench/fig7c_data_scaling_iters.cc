@@ -14,15 +14,15 @@
 
 int main(int argc, char** argv) {
   pme::Flags flags(argc, argv);
-  const bool full = flags.GetBool("full", false);
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 20080612));
+  const auto scale = pme::bench::ResolveScale(flags, 2000);
 
   std::printf("# Figure 7(c) reproduction: iterations vs #buckets\n");
   std::vector<size_t> buckets, budgets;
-  auto cells = pme::bench::RunFig7Grid(flags, full, seed, &buckets, &budgets);
+  auto cells = pme::bench::RunFig7Grid(flags, scale.full, scale.seed,
+                                       &buckets, &budgets);
 
-  pme::core::CsvWriter csv(flags.GetString("csv", ""),
-                           {"buckets", "constraints", "iterations"});
+  pme::bench::CsvWriter csv(scale.csv_path,
+                            {"buckets", "constraints", "iterations"});
   std::printf("%10s", "#buckets");
   for (size_t b : budgets) std::printf("   #c=%-7zu", b);
   std::printf("   (solver iterations)\n");

@@ -1,0 +1,226 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Closed-loop throughput bench for `pme serve`: an in-process
+// AnalysisServer (one shared TableArtifact, one solver pool, one
+// solution cache) driven over real sockets by {1, 2, 4, 8} concurrent
+// clients, against the cold baseline of a per-request legacy
+// core::Analyze — which rebuilds the table-side state (TermIndex,
+// invariants, component partition) every call, exactly what every
+// request paid before the artifact/session split.
+//
+// Emits BENCH_serve.json: per-concurrency requests/sec and p50/p99
+// latency for both modes, plus the warm/cold throughput speedup (the
+// PR's acceptance gate: >= 5x at 8 clients).
+//
+//   serve_throughput --records=1000 --warm-requests=60 --cold-requests=6
+//
+// Requests rotate through informative mined rules (away from 0/1, so
+// the iterative solver actually runs), one statement per request.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/analysis_session.h"
+#include "core/table_artifact.h"
+#include "knowledge/parser.h"
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/server.h"
+
+namespace {
+
+struct PhaseResult {
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t requests = 0;
+  size_t failures = 0;
+};
+
+double Percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t i = static_cast<size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(i, sorted_ms.size() - 1)];
+}
+
+PhaseResult Summarize(const std::vector<std::vector<double>>& per_thread,
+                      double wall_seconds, size_t failures) {
+  std::vector<double> all;
+  for (const auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  PhaseResult r;
+  r.requests = all.size();
+  r.failures = failures;
+  r.rps = wall_seconds > 0 ? static_cast<double>(all.size()) / wall_seconds
+                           : 0.0;
+  r.p50_ms = Percentile(all, 0.50);
+  r.p99_ms = Percentile(all, 0.99);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pme::Flags flags(argc, argv);
+  const auto scale = pme::bench::ResolveScale(flags, 1000);
+  const size_t warm_requests =
+      static_cast<size_t>(flags.GetInt("warm-requests", 60));
+  const size_t cold_requests =
+      static_cast<size_t>(flags.GetInt("cold-requests", 6));
+  // The acceptance gate; CI runners with unpredictable load can relax it
+  // (--min-speedup=0) and still publish the measured series.
+  const double min_speedup = flags.GetDouble("min-speedup", 5.0);
+
+  std::printf("# pme serve closed-loop throughput (warm artifact reuse vs "
+              "cold per-request Analyze)\n");
+  std::printf("# records=%zu\n", scale.records);
+  auto pipeline = pme::bench::BuildStandardPipeline(scale, /*max_attrs=*/2);
+  const auto rules = pme::bench::SampleInformativeRules(pipeline.rules, 64);
+  if (rules.empty()) {
+    std::fprintf(stderr, "no informative rules mined; increase --records\n");
+    return 1;
+  }
+  std::vector<std::string> statements;
+  for (const auto& rule : rules) {
+    statements.push_back(rule.ToStatement(pipeline.dataset));
+  }
+
+  auto artifact = pme::bench::Unwrap(
+      pme::core::TableArtifact::BuildBorrowed(
+          pipeline.bucketization.table, &pipeline.bucketization.qi_encoder),
+      "artifact build");
+
+  pme::serve::ServeOptions options;
+  options.port = 0;
+  options.solver_threads = scale.threads == 0 ? 0 : scale.threads;
+  options.max_connections = 64;
+  pme::serve::AnalysisServer server(
+      artifact,
+      std::shared_ptr<const pme::data::Dataset>(
+          std::shared_ptr<const pme::data::Dataset>(), &pipeline.dataset),
+      options);
+  if (pme::Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  pme::bench::JsonWriter json(scale.json_path, "serve_throughput");
+  json.Field("records", scale.records);
+  json.Field("statements", statements.size());
+  json.Field("warm_requests_per_client", warm_requests);
+  json.Field("cold_requests_per_client", cold_requests);
+
+  std::printf("%8s %10s %10s %10s %10s %10s %10s %9s\n", "clients",
+              "warm_rps", "w_p50ms", "w_p99ms", "cold_rps", "c_p50ms",
+              "c_p99ms", "speedup");
+
+  double speedup_at_8 = 0.0;
+  for (size_t clients : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    // Warm phase: closed-loop socket clients against the shared-artifact
+    // server.
+    std::vector<std::vector<double>> warm_lat(clients);
+    std::atomic<size_t> warm_failures{0};
+    pme::Timer warm_timer;
+    {
+      std::vector<std::thread> threads;
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          auto connected =
+              pme::serve::ServeClient::Connect("127.0.0.1", server.port());
+          if (!connected.ok()) {
+            warm_failures += warm_requests;
+            return;
+          }
+          pme::serve::ServeClient client = std::move(connected).value();
+          for (size_t i = 0; i < warm_requests; ++i) {
+            const std::string& statement =
+                statements[(c * warm_requests + i) % statements.size()];
+            pme::Timer t;
+            auto reply = client.Call(R"({"id":"w","knowledge":[")" +
+                                     statement + R"("]})");
+            if (reply.ok()) {
+              warm_lat[c].push_back(t.ElapsedSeconds() * 1e3);
+            } else {
+              ++warm_failures;
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const PhaseResult warm =
+        Summarize(warm_lat, warm_timer.ElapsedSeconds(), warm_failures);
+
+    // Cold phase: the same concurrency, but every request is a full
+    // legacy Analyze — table-side rebuild included, no shared pool, no
+    // cache (what each request cost before this refactor).
+    std::vector<std::vector<double>> cold_lat(clients);
+    std::atomic<size_t> cold_failures{0};
+    pme::Timer cold_timer;
+    {
+      std::vector<std::thread> threads;
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          for (size_t i = 0; i < cold_requests; ++i) {
+            const std::string& statement =
+                statements[(c * cold_requests + i) % statements.size()];
+            pme::knowledge::KnowledgeBase kb;
+            pme::knowledge::ParserContext context;
+            context.dataset = &pipeline.dataset;
+            if (!pme::knowledge::ParseKnowledge(statement, context, &kb)
+                     .ok()) {
+              ++cold_failures;
+              continue;
+            }
+            pme::Timer t;
+            auto analysis = pme::core::Analyze(
+                pipeline.bucketization.table, kb, {},
+                &pipeline.bucketization.qi_encoder);
+            if (analysis.ok()) {
+              cold_lat[c].push_back(t.ElapsedSeconds() * 1e3);
+            } else {
+              ++cold_failures;
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const PhaseResult cold =
+        Summarize(cold_lat, cold_timer.ElapsedSeconds(), cold_failures);
+
+    const double speedup = cold.rps > 0 ? warm.rps / cold.rps : 0.0;
+    if (clients == 8) speedup_at_8 = speedup;
+    std::printf("%8zu %10.1f %10.3f %10.3f %10.1f %10.3f %10.3f %8.1fx\n",
+                clients, warm.rps, warm.p50_ms, warm.p99_ms, cold.rps,
+                cold.p50_ms, cold.p99_ms, speedup);
+
+    json.BeginRow();
+    json.RowField("clients", clients);
+    json.RowField("warm_rps", warm.rps);
+    json.RowField("warm_p50_ms", warm.p50_ms);
+    json.RowField("warm_p99_ms", warm.p99_ms);
+    json.RowField("warm_requests", warm.requests);
+    json.RowField("warm_failures", warm.failures);
+    json.RowField("cold_rps", cold.rps);
+    json.RowField("cold_p50_ms", cold.p50_ms);
+    json.RowField("cold_p99_ms", cold.p99_ms);
+    json.RowField("cold_requests", cold.requests);
+    json.RowField("cold_failures", cold.failures);
+    json.RowField("speedup", speedup);
+  }
+  json.Field("speedup_at_8_clients", speedup_at_8);
+  server.Shutdown();
+
+  std::printf("# acceptance: warm/cold throughput speedup at 8 clients = "
+              "%.1fx (gate: >= %.1fx)\n", speedup_at_8, min_speedup);
+  return speedup_at_8 >= min_speedup ? 0 : 1;
+}

@@ -26,8 +26,13 @@ double Entropy(const std::vector<double>& p) {
 double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
                     double q_floor) {
   assert(p.size() == q.size());
+  return KlDivergence(p.data(), q.data(), p.size(), q_floor);
+}
+
+double KlDivergence(const double* p, const double* q, size_t n,
+                    double q_floor) {
   double kl = 0.0;
-  for (size_t i = 0; i < p.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     if (p[i] <= 0.0) continue;
     const double qi = std::max(q[i], q_floor);
     kl += p[i] * std::log(p[i] / qi);

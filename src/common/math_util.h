@@ -41,6 +41,11 @@ double Entropy(const std::vector<double>& p);
 double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
                     double q_floor = 1e-12);
 
+/// Span form of KlDivergence for callers iterating rows of a packed
+/// matrix — identical arithmetic, no per-row copies.
+double KlDivergence(const double* p, const double* q, size_t n,
+                    double q_floor = 1e-12);
+
 /// log(sum_i exp(x_i)) computed stably (max-shift).
 /// Returns -inf for an empty input.
 double LogSumExp(const std::vector<double>& x);

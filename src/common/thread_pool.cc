@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <utility>
 
 namespace pme {
@@ -42,6 +43,43 @@ Status ThreadPool::Wait() {
   first_task_error_.clear();
   task_threw_ = false;
   return Status::Internal("thread pool task threw: " + what);
+}
+
+Status ThreadPool::RunBatch(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return Status::Ok();
+  // Batch-local completion state: tasks from other callers sharing this
+  // pool neither delay the return nor leak their errors into it.
+  struct BatchState {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t remaining;
+    std::string first_error;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    // fn by reference is safe: the caller blocks below until every index
+    // has finished.
+    Submit([state, i, &fn] {
+      try {
+        fn(i);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (state->first_error.empty()) state->first_error = e.what();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (state->first_error.empty()) state->first_error = "non-std::exception";
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->remaining == 0) state->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->remaining == 0; });
+  if (!state->first_error.empty()) {
+    return Status::Internal("thread pool task threw: " + state->first_error);
+  }
+  return Status::Ok();
 }
 
 void ThreadPool::RecordTaskError(const char* what) {

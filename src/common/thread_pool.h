@@ -56,6 +56,17 @@ class ThreadPool {
   /// later batch starts with a clean slate.
   Status Wait();
 
+  /// Runs fn(0..n-1) as one batch on this pool and blocks until every
+  /// index of *this* batch has finished. Unlike Wait(), concurrent
+  /// batches submitted from different threads do not wait on each
+  /// other's tasks — the serving path, where many requests share one
+  /// fixed set of solver threads. Containment matches ParallelFor:
+  /// every index is attempted and the first escaping exception comes
+  /// back as a kInternal Status (batch-local; it never taints the
+  /// pool-wide Wait() channel). Must not be called from a worker of
+  /// this pool — the caller blocks while holding a worker slot.
+  Status RunBatch(size_t n, const std::function<void(size_t)>& fn);
+
   /// Resolves a `--threads` style request: 0 -> hardware concurrency,
   /// otherwise the value itself (minimum 1).
   static size_t ResolveThreads(size_t requested);

@@ -86,6 +86,60 @@ ComponentAnalysis ComponentAnalysis::Build(const TermIndex& index,
   return out;
 }
 
+ComponentAnalysis ComponentAnalysis::Extend(
+    const ComponentAnalysis& base, const TermIndex& index,
+    const std::vector<LinearConstraint>& extra) {
+  const size_t num_buckets = index.num_buckets();
+  const size_t num_base = base.num_components();
+  // Union-find over *base components*: the base already merged every
+  // bucket inside a component, so only component-level merges remain.
+  UnionFind uf(num_base);
+  std::vector<bool> touched(num_base, false);
+  for (size_t k = 0; k < num_base; ++k) {
+    touched[k] = base.components()[k].coupled;
+  }
+  for (const auto& c : extra) {
+    const bool is_knowledge = c.source != ConstraintSource::kQiInvariant &&
+                              c.source != ConstraintSource::kSaInvariant;
+    int64_t first_comp = -1;
+    for (size_t i = 0; i < c.vars.size(); ++i) {
+      if (c.coefs[i] == 0.0) continue;
+      const uint32_t k = base.ComponentOf(index.TermOf(c.vars[i]).bucket);
+      if (is_knowledge) touched[k] = true;
+      if (first_comp < 0) {
+        first_comp = k;
+      } else {
+        uf.Union(static_cast<uint32_t>(first_comp), k);
+      }
+    }
+  }
+
+  ComponentAnalysis out;
+  out.bucket_component_.assign(num_buckets, 0);
+  // Renumber by first appearance in bucket order — identical to Build's
+  // numbering because a merged component's smallest bucket decides both.
+  std::vector<int64_t> root_to_id(num_base, -1);
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    const uint32_t base_comp = base.ComponentOf(b);
+    const uint32_t root = uf.Find(base_comp);
+    if (root_to_id[root] < 0) {
+      root_to_id[root] = static_cast<int64_t>(out.components_.size());
+      out.components_.emplace_back();
+    }
+    const auto id = static_cast<uint32_t>(root_to_id[root]);
+    out.bucket_component_[b] = id;
+    Component& comp = out.components_[id];
+    comp.buckets.push_back(b);
+    const auto [first, last] = index.BucketRange(b);
+    comp.num_variables += last - first;
+    comp.coupled = comp.coupled || touched[base_comp];
+  }
+  for (const Component& comp : out.components_) {
+    if (comp.coupled) ++out.num_coupled_;
+  }
+  return out;
+}
+
 Hash128 ConstraintRowSignature(const LinearConstraint& constraint) {
   // Canonical support: zero coefficients dropped, duplicates summed,
   // sorted by variable id — the row's content independent of the order

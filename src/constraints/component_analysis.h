@@ -48,6 +48,18 @@ class ComponentAnalysis {
   static ComponentAnalysis Build(const TermIndex& index,
                                  const ConstraintSystem& system);
 
+  /// Extends a prebuilt partition with additional constraint rows:
+  /// unions the base components joined by each row's support and marks
+  /// the touched components coupled (by the same invariant/knowledge
+  /// rule Build applies). Produces exactly what Build would over the
+  /// concatenation of the constraints behind `base` and `extra` — same
+  /// deterministic numbering by smallest bucket id — but only scans
+  /// `extra`: the per-request path reuses a table artifact's
+  /// invariants-only partition and pays for the knowledge rows alone.
+  static ComponentAnalysis Extend(const ComponentAnalysis& base,
+                                  const TermIndex& index,
+                                  const std::vector<LinearConstraint>& extra);
+
   const std::vector<Component>& components() const { return components_; }
   size_t num_components() const { return components_.size(); }
 

@@ -1,9 +1,5 @@
 #include "core/experiment.h"
 
-#include <fstream>
-
-#include "common/string_util.h"
-
 namespace pme::core {
 
 Result<ExperimentPipeline> BuildPipeline(const PipelineOptions& options) {
@@ -30,33 +26,6 @@ Result<Analysis> AnalyzeWithRules(
   kb.AddRules(rules);
   return Analyze(pipeline.bucketization.table, kb, options,
                  &pipeline.bucketization.qi_encoder);
-}
-
-struct CsvWriter::Impl {
-  std::ofstream out;
-};
-
-CsvWriter::CsvWriter(const std::string& path,
-                     const std::vector<std::string>& header)
-    : impl_(new Impl) {
-  if (path.empty()) return;
-  impl_->out.open(path);
-  if (!impl_->out) {
-    ok_ = false;
-    return;
-  }
-  impl_->out << Join(header, ",") << "\n";
-}
-
-CsvWriter::~CsvWriter() { delete impl_; }
-
-void CsvWriter::Row(const std::vector<double>& values) {
-  if (!impl_->out.is_open()) return;
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (i > 0) impl_->out << ",";
-    impl_->out << FormatDouble(values[i]);
-  }
-  impl_->out << "\n";
 }
 
 }  // namespace pme::core

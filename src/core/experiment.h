@@ -46,26 +46,6 @@ Result<Analysis> AnalyzeWithRules(
     const std::vector<knowledge::AssociationRule>& rules,
     const AnalysisOptions& options = {});
 
-/// Minimal CSV emitter for bench series (one header + rows of doubles).
-class CsvWriter {
- public:
-  /// Opens `path` for writing and emits the header row. An empty path
-  /// disables output (all writes become no-ops).
-  CsvWriter(const std::string& path, const std::vector<std::string>& header);
-  ~CsvWriter();
-
-  /// Appends one row.
-  void Row(const std::vector<double>& values);
-
-  /// True when the file opened successfully (or output is disabled).
-  bool ok() const { return ok_; }
-
- private:
-  struct Impl;
-  Impl* impl_;
-  bool ok_ = true;
-};
-
 }  // namespace pme::core
 
 #endif  // PME_CORE_EXPERIMENT_H_

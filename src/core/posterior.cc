@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/math_util.h"
+#include "common/vec_math.h"
 
 namespace pme::core {
 
@@ -57,6 +58,19 @@ PosteriorTable PosteriorTable::GroundTruth(
   return t;
 }
 
+void PosteriorTable::RecomputeRow(uint32_t q, const uint32_t* vars, size_t n,
+                                  const constraints::TermIndex& index,
+                                  const std::vector<double>& p) {
+  double* row = rows_.data() + static_cast<size_t>(q) * num_sa_;
+  std::fill(row, row + num_sa_, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    row[index.TermOf(vars[i]).sa] += p[vars[i]];
+  }
+  const double pq = prob_q_[q];
+  if (pq <= 0.0) return;
+  for (uint32_t s = 0; s < num_sa_; ++s) row[s] /= pq;
+}
+
 std::vector<double> PosteriorTable::Row(uint32_t q) const {
   return std::vector<double>(rows_.begin() + q * num_sa_,
                              rows_.begin() + (q + 1) * num_sa_);
@@ -65,10 +79,12 @@ std::vector<double> PosteriorTable::Row(uint32_t q) const {
 double EstimationAccuracy(const PosteriorTable& truth,
                           const PosteriorTable& estimate) {
   double accuracy = 0.0;
+  const uint32_t num_sa = truth.num_sa();
   for (uint32_t q = 0; q < truth.num_qi(); ++q) {
     const double pq = truth.ProbQ(q);
     if (pq <= 0.0) continue;
-    accuracy += pq * KlDivergence(truth.Row(q), estimate.Row(q));
+    accuracy +=
+        pq * KlDivergence(truth.RowData(q), estimate.RowData(q), num_sa);
   }
   return accuracy;
 }
@@ -76,13 +92,65 @@ double EstimationAccuracy(const PosteriorTable& truth,
 PrivacyMetrics ComputePrivacyMetrics(const PosteriorTable& posterior) {
   PrivacyMetrics metrics;
   metrics.min_effective_candidates = std::numeric_limits<double>::max();
+  const uint32_t num_sa = posterior.num_sa();
   for (uint32_t q = 0; q < posterior.num_qi(); ++q) {
-    const std::vector<double> row = posterior.Row(q);
-    const double best = *std::max_element(row.begin(), row.end());
+    const double* row = posterior.RowData(q);
+    const double best = *std::max_element(row, row + num_sa);
     metrics.max_disclosure = std::max(metrics.max_disclosure, best);
     metrics.expected_best_guess += posterior.ProbQ(q) * best;
     metrics.min_effective_candidates =
-        std::min(metrics.min_effective_candidates, std::exp(Entropy(row)));
+        std::min(metrics.min_effective_candidates,
+                 std::exp(kernels::NegXLogXSum({row, num_sa})));
+  }
+  return metrics;
+}
+
+void ReevaluateQ(const PosteriorTable& truth, const PosteriorTable& estimate,
+                 uint32_t q, PerQEvaluation* eval) {
+  const uint32_t num_sa = truth.num_sa();
+  eval->kl[q] = truth.ProbQ(q) <= 0.0
+                    ? 0.0
+                    : KlDivergence(truth.RowData(q), estimate.RowData(q),
+                                   num_sa);
+  const double* row = estimate.RowData(q);
+  eval->best_guess[q] = *std::max_element(row, row + num_sa);
+  eval->effective_candidates[q] =
+      std::exp(kernels::NegXLogXSum({row, num_sa}));
+}
+
+PerQEvaluation EvaluatePerQ(const PosteriorTable& truth,
+                            const PosteriorTable& estimate) {
+  PerQEvaluation eval;
+  eval.kl.resize(truth.num_qi());
+  eval.best_guess.resize(truth.num_qi());
+  eval.effective_candidates.resize(truth.num_qi());
+  for (uint32_t q = 0; q < truth.num_qi(); ++q) {
+    ReevaluateQ(truth, estimate, q, &eval);
+  }
+  return eval;
+}
+
+double AccuracyFromPerQ(const PosteriorTable& truth,
+                        const PerQEvaluation& eval) {
+  double accuracy = 0.0;
+  for (uint32_t q = 0; q < truth.num_qi(); ++q) {
+    const double pq = truth.ProbQ(q);
+    if (pq <= 0.0) continue;
+    accuracy += pq * eval.kl[q];
+  }
+  return accuracy;
+}
+
+PrivacyMetrics MetricsFromPerQ(const PosteriorTable& estimate,
+                               const PerQEvaluation& eval) {
+  PrivacyMetrics metrics;
+  metrics.min_effective_candidates = std::numeric_limits<double>::max();
+  for (uint32_t q = 0; q < estimate.num_qi(); ++q) {
+    const double best = eval.best_guess[q];
+    metrics.max_disclosure = std::max(metrics.max_disclosure, best);
+    metrics.expected_best_guess += estimate.ProbQ(q) * best;
+    metrics.min_effective_candidates = std::min(
+        metrics.min_effective_candidates, eval.effective_candidates[q]);
   }
   return metrics;
 }

@@ -37,8 +37,23 @@ class PosteriorTable {
   /// The conditional distribution over all SA instances for one q.
   std::vector<double> Row(uint32_t q) const;
 
+  /// Borrowed view of Row(q) (num_sa() doubles) — the hot evaluation
+  /// loops (accuracy, metrics) read every row and must not allocate one
+  /// copy per q.
+  const double* RowData(uint32_t q) const { return rows_.data() + q * num_sa_; }
+
   /// The q-marginal P(q) used for weighting.
   double ProbQ(uint32_t q) const { return prob_q_[q]; }
+
+  /// Recomputes row q in place from a full joint solution: `vars` are
+  /// exactly q's variable ids in ascending order (the artifact's per-q
+  /// index). Identical arithmetic to FromSolution for that row —
+  /// accumulate contributions in var order, then divide by P(q) — so an
+  /// incremental re-evaluation that recomputes only the knowledge-
+  /// touched rows reproduces the full rebuild bit for bit.
+  void RecomputeRow(uint32_t q, const uint32_t* vars, size_t n,
+                    const constraints::TermIndex& index,
+                    const std::vector<double>& p);
 
  private:
   uint32_t num_qi_ = 0;
@@ -74,6 +89,35 @@ struct PrivacyMetrics {
 };
 
 PrivacyMetrics ComputePrivacyMetrics(const PosteriorTable& posterior);
+
+/// Per-q slices of the two evaluations above, cached so a request that
+/// perturbs only a few posterior rows (the artifact-serving path: only
+/// knowledge-coupled buckets move off the prior) re-derives just those
+/// entries and re-aggregates — O(touched rows + num_qi) instead of a
+/// log/exp pass over every cell.
+struct PerQEvaluation {
+  std::vector<double> kl;  ///< KL(truth_q ‖ estimate_q); 0 where P(q)=0
+  std::vector<double> best_guess;             ///< max_s P*(s | q)
+  std::vector<double> effective_candidates;   ///< exp(H(P*(· | q)))
+};
+
+/// Full per-q evaluation (every row), computed with exactly the same
+/// per-row arithmetic as EstimationAccuracy / ComputePrivacyMetrics.
+PerQEvaluation EvaluatePerQ(const PosteriorTable& truth,
+                            const PosteriorTable& estimate);
+
+/// Re-derives one q's slice after its estimate row changed.
+void ReevaluateQ(const PosteriorTable& truth, const PosteriorTable& estimate,
+                 uint32_t q, PerQEvaluation* eval);
+
+/// Aggregations over the per-q slices. Iteration order and floating-
+/// point operation order match the full EstimationAccuracy /
+/// ComputePrivacyMetrics loops, so (full evaluation, aggregate) and the
+/// direct computation agree bit for bit.
+double AccuracyFromPerQ(const PosteriorTable& truth,
+                        const PerQEvaluation& eval);
+PrivacyMetrics MetricsFromPerQ(const PosteriorTable& estimate,
+                               const PerQEvaluation& eval);
 
 }  // namespace pme::core
 

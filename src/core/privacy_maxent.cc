@@ -1,9 +1,7 @@
 #include "core/privacy_maxent.h"
 
-#include "constraints/bk_compiler.h"
-#include "constraints/system.h"
-#include "constraints/term_index.h"
-#include "maxent/problem.h"
+#include "core/analysis_session.h"
+#include "core/table_artifact.h"
 
 namespace pme::core {
 
@@ -11,60 +9,19 @@ Result<Analysis> Analyze(const anonymize::BucketizedTable& table,
                          const knowledge::KnowledgeBase& kb,
                          const AnalysisOptions& options,
                          const data::TupleEncoder* qi_encoder) {
-  if (!kb.individuals().empty()) {
-    return Status::InvalidArgument(
-        "knowledge about individuals requires the pseudonym-expanded "
-        "IndividualModel (core/individual_model.h)");
-  }
-
-  // Index construction is itself sharded across the solver's pool so the
-  // front of every analysis scales with --threads, not just the solve.
-  const constraints::TermIndex index =
-      constraints::TermIndex::Build(table, options.solver_options.threads);
-  constraints::ConstraintSystem system(index.num_variables());
-  system.AddAll(constraints::GenerateInvariants(table, index,
-                                                options.invariant_options));
-  const size_t num_invariants = system.size();
-
+  // Thin wrapper over the artifact/session split: build a throwaway
+  // borrowed artifact (table-side precompilation) and run one session
+  // against it. Long-lived callers — pme serve, pme analyze --repeat —
+  // hold the artifact and skip this per-call rebuild.
+  TableArtifactOptions artifact_options;
+  artifact_options.invariant_options = options.invariant_options;
+  // Index construction is sharded across the solver's pool so the front
+  // of every analysis scales with --threads, not just the solve.
+  artifact_options.threads = options.solver_options.threads;
   PME_ASSIGN_OR_RETURN(
-      auto compiled,
-      constraints::CompileKnowledge(kb, table, index, qi_encoder));
-  const size_t num_bk = compiled.constraints.size();
-  system.AddAll(std::move(compiled.constraints));
-
-  Analysis analysis;
-  analysis.num_invariant_constraints = num_invariants;
-  analysis.num_background_constraints = num_bk;
-  analysis.num_vacuous_statements = compiled.num_vacuous;
-  analysis.decomposition = maxent::AnalyzeDecomposition(index, system);
-
-  if (options.use_decomposition) {
-    PME_ASSIGN_OR_RETURN(
-        analysis.solver,
-        maxent::SolveDecomposed(table, index, system, options.solver,
-                                options.solver_options));
-    // Per-block solve effort, aligned with the decomposition census's
-    // block numbering (component_outcomes are emitted in block-id order).
-    for (const auto& outcome : analysis.solver.component_outcomes) {
-      analysis.decomposition.coupled_component_iterations.push_back(
-          outcome.iterations);
-      analysis.decomposition.coupled_component_seconds.push_back(
-          outcome.seconds);
-    }
-  } else {
-    PME_ASSIGN_OR_RETURN(auto problem, maxent::BuildProblem(system));
-    PME_ASSIGN_OR_RETURN(
-        analysis.solver,
-        maxent::Solve(problem, options.solver, options.solver_options));
-  }
-
-  analysis.posterior =
-      PosteriorTable::FromSolution(table, index, analysis.solver.p);
-  analysis.estimation_accuracy =
-      EstimationAccuracy(PosteriorTable::GroundTruth(table),
-                         analysis.posterior);
-  analysis.metrics = ComputePrivacyMetrics(analysis.posterior);
-  return analysis;
+      auto artifact,
+      TableArtifact::BuildBorrowed(table, qi_encoder, artifact_options));
+  return AnalysisSession(std::move(artifact), options).Run(kb);
 }
 
 }  // namespace pme::core

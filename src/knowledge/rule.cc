@@ -27,6 +27,27 @@ std::string AssociationRule::ToString(const data::Dataset& dataset) const {
   return oss.str();
 }
 
+std::string AssociationRule::ToStatement(const data::Dataset& dataset) const {
+  std::ostringstream oss;
+  oss << "P(";
+  auto sa = dataset.schema().SoleSensitiveIndex();
+  if (sa.ok()) {
+    oss << dataset.schema().attribute(sa.value()).dictionary.ValueOf(sa_code);
+  } else {
+    oss << "sa#" << sa_code;
+  }
+  oss << " | ";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) oss << ",";
+    const auto& attr = dataset.schema().attribute(attrs[i]);
+    oss << attr.name << "=" << attr.dictionary.ValueOf(values[i]);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ") = %.17g", conditional);
+  oss << buf;
+  return oss.str();
+}
+
 bool RuleRankBefore(const AssociationRule& a, const AssociationRule& b) {
   if (a.confidence != b.confidence) return a.confidence > b.confidence;
   if (a.support != b.support) return a.support > b.support;

@@ -45,6 +45,11 @@ struct AssociationRule {
 
   /// Pretty form "age=22-25,sex=male => education=bachelors [conf 0.61]".
   std::string ToString(const data::Dataset& dataset) const;
+
+  /// Statement form consumed by knowledge/parser.h — and therefore by the
+  /// wire protocol of `pme serve`:
+  /// "P(bachelors | age=22-25,sex=male) = 0.61".
+  std::string ToStatement(const data::Dataset& dataset) const;
 };
 
 /// Strict weak order ranking rules by descending confidence, breaking ties

@@ -24,10 +24,13 @@ using constraints::ComponentAnalysis;
 
 DecompositionStats AnalyzeDecomposition(
     const constraints::TermIndex& index,
-    const constraints::ConstraintSystem& system) {
+    const constraints::ConstraintSystem& system,
+    const constraints::ComponentAnalysis* precomputed) {
   DecompositionStats stats;
   stats.total_variables = index.num_variables();
-  const ComponentAnalysis analysis = ComponentAnalysis::Build(index, system);
+  std::optional<ComponentAnalysis> local;
+  if (precomputed == nullptr) local = ComponentAnalysis::Build(index, system);
+  const ComponentAnalysis& analysis = precomputed ? *precomputed : *local;
   stats.num_components = analysis.num_components();
   stats.num_coupled_components = analysis.num_coupled();
   for (const auto& comp : analysis.components()) {
@@ -60,10 +63,22 @@ struct BlockSelection {
 /// different precision must not serve each other's solutions.
 Hash128 MakeExactKey(const Hash128& rows_hash, const SolverOptions& options) {
   Hasher128 h;
-  h.Update(std::string_view("pme.cachekey.v1"));
+  h.Update(std::string_view("pme.cachekey.v2"));
+  h.Update(options.cache_namespace);
   h.Update(rows_hash);
   h.Update(options.tolerance);
   h.Update(static_cast<uint64_t>(options.presolve ? 1 : 0));
+  return h.Finish();
+}
+
+/// The structure (warm-start) key of one block: its variable digest
+/// under the caller's cache namespace, so two artifacts sharing one
+/// cache keep disjoint warm-start spaces too.
+Hash128 MakeVarsKey(const Hash128& vars_hash, const SolverOptions& options) {
+  Hasher128 h;
+  h.Update(std::string_view("pme.varskey.v1"));
+  h.Update(options.cache_namespace);
+  h.Update(vars_hash);
   return h.Finish();
 }
 
@@ -114,9 +129,15 @@ Result<SolverResult> SolveDecomposed(
     const anonymize::BucketizedTable& table,
     const constraints::TermIndex& index,
     const constraints::ConstraintSystem& system, SolverKind kind,
-    const SolverOptions& options) {
+    const SolverOptions& options,
+    const constraints::ComponentAnalysis* precomputed) {
   Timer timer;
-  const ComponentAnalysis analysis = ComponentAnalysis::Build(index, system);
+  std::optional<ComponentAnalysis> local_analysis;
+  if (precomputed == nullptr) {
+    local_analysis = ComponentAnalysis::Build(index, system);
+  }
+  const ComponentAnalysis& analysis =
+      precomputed ? *precomputed : *local_analysis;
 
   // Monolithic fallback: when one coupled component dominates the
   // variable space there is nothing to decompose — the closed form would
@@ -151,8 +172,21 @@ Result<SolverResult> SolveDecomposed(
   result.converged = true;
 
   // Closed form everywhere first (exact for uncoupled components by
-  // Theorem 5); the block solves overwrite the coupled ranges.
-  result.p = ClosedFormNoKnowledge(table, index);
+  // Theorem 5); the block solves overwrite the coupled ranges. A caller
+  // that precomputed the prior (the artifact-serving path) hands it in
+  // through the options — a copy instead of an O(table) re-derivation.
+  const bool prior_provided =
+      options.closed_form_prior != nullptr &&
+      options.closed_form_prior->size() == index.num_variables();
+  if (prior_provided) {
+    result.p = *options.closed_form_prior;
+  } else {
+    result.p = ClosedFormNoKnowledge(table, index);
+  }
+  // With a precomputed prior entropy, the final entropy is derived by
+  // adjusting only the coordinates the block solves overwrite.
+  const bool incremental_entropy =
+      prior_provided && std::isfinite(options.closed_form_prior_entropy);
 
   // Dense numbering of the coupled components.
   std::vector<int64_t> block_of_component(analysis.num_components(), -1);
@@ -172,7 +206,9 @@ Result<SolverResult> SolveDecomposed(
   }
 
   if (blocks.empty()) {
-    result.entropy = Entropy(result.p);
+    result.entropy = incremental_entropy
+                         ? options.closed_form_prior_entropy
+                         : Entropy(result.p);
     result.max_violation = system.MaxViolation(result.p);
     result.seconds = timer.ElapsedSeconds();
     return result;
@@ -247,7 +283,7 @@ Result<SolverResult> SolveDecomposed(
         constraints::ComputeComponentSignatures(index, system, analysis);
     for (size_t i = 0; i < blocks.size(); ++i) {
       exact_keys[i] = MakeExactKey(sigs.rows_hash[i], options);
-      vars_keys[i] = sigs.vars_hash[i];
+      vars_keys[i] = MakeVarsKey(sigs.vars_hash[i], options);
       auto hit = cache->FindExact(exact_keys[i]);
       if (hit != nullptr && hit->p.size() == blocks[i].cols.size()) {
         exact_hits[i] = std::move(hit);
@@ -295,8 +331,7 @@ Result<SolverResult> SolveDecomposed(
   std::vector<size_t> block_attempts(blocks.size(), 0);
   std::vector<double> block_seconds(blocks.size(), 0.0);
   const size_t threads = ThreadPool::ResolveThreads(options.threads);
-  const Status pool_status = ThreadPool::ParallelFor(
-      threads, blocks.size(), [&](size_t i) {
+  const std::function<void(size_t)> block_task = [&](size_t i) {
         if (exact_hits[i] != nullptr) return;  // answered from the cache
         Timer block_timer;
         const BlockSelection& sel = blocks[i];
@@ -342,7 +377,14 @@ Result<SolverResult> SolveDecomposed(
         };
         block_results[i] = solve_block();
         block_seconds[i] = block_timer.ElapsedSeconds();
-      });
+      };
+  // A shared pool (the serving path) hosts the tasks as one batch —
+  // only this solve's blocks are awaited; otherwise a private pool of
+  // `threads` workers is spun for this call (serial inline when 1).
+  const Status pool_status =
+      options.pool != nullptr
+          ? options.pool->RunBatch(blocks.size(), block_task)
+          : ThreadPool::ParallelFor(threads, blocks.size(), block_task);
 
   // Aggregate. With the fallback ladder on, a component whose every rung
   // failed keeps its closed-form no-knowledge prior (already in
@@ -508,7 +550,20 @@ Result<SolverResult> SolveDecomposed(
     result.termination = StatusCode::kDeadlineExceeded;
   }
 
-  result.entropy = Entropy(result.p);
+  if (incremental_entropy) {
+    // -sum p ln p, starting from the prior's entropy and swapping in the
+    // coupled coordinates' contributions (blocks never overlap).
+    double entropy = options.closed_form_prior_entropy;
+    const std::vector<double>& prior = *options.closed_form_prior;
+    for (const auto& block : blocks) {
+      for (const uint32_t col : block.cols) {
+        entropy += XLogX(prior[col]) - XLogX(result.p[col]);
+      }
+    }
+    result.entropy = entropy;
+  } else {
+    result.entropy = Entropy(result.p);
+  }
   result.max_violation = system.MaxViolation(result.p);
   result.seconds = timer.ElapsedSeconds();
   return result;

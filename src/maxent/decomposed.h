@@ -47,11 +47,20 @@ namespace pme::maxent {
 /// token fired, kDeadlineExceeded when the request deadline is spent.
 /// With `fallback` off, the historical fail-fast contract stands: the
 /// first block error propagates as the call's Status.
-Result<SolverResult> SolveDecomposed(const anonymize::BucketizedTable& table,
-                                     const constraints::TermIndex& index,
-                                     const constraints::ConstraintSystem& system,
-                                     SolverKind kind = SolverKind::kLbfgs,
-                                     const SolverOptions& options = {});
+/// `precomputed`, when non-null, is the ComponentAnalysis of `system`
+/// over `index` (typically ComponentAnalysis::Extend of a table
+/// artifact's invariants-only base) and must match what
+/// ComponentAnalysis::Build(index, system) would produce; the solve
+/// then skips its own union-find pass. Not owned; must outlive the
+/// call. Scheduling: `options.pool`, when set, hosts the block tasks
+/// (shared-pool serving); otherwise a private pool of `options.threads`
+/// workers is spun per call.
+Result<SolverResult> SolveDecomposed(
+    const anonymize::BucketizedTable& table,
+    const constraints::TermIndex& index,
+    const constraints::ConstraintSystem& system,
+    SolverKind kind = SolverKind::kLbfgs, const SolverOptions& options = {},
+    const constraints::ComponentAnalysis* precomputed = nullptr);
 
 /// Statistics of the decomposition (for the ablation bench).
 struct DecompositionStats {
@@ -73,9 +82,12 @@ struct DecompositionStats {
   std::vector<double> coupled_component_seconds;
 };
 
+/// `precomputed` as in SolveDecomposed: a caller that already holds the
+/// ComponentAnalysis of (index, system) passes it to skip the pass.
 DecompositionStats AnalyzeDecomposition(
     const constraints::TermIndex& index,
-    const constraints::ConstraintSystem& system);
+    const constraints::ConstraintSystem& system,
+    const constraints::ComponentAnalysis* precomputed = nullptr);
 
 }  // namespace pme::maxent
 

@@ -4,12 +4,18 @@
 #ifndef PME_MAXENT_SOLVER_H_
 #define PME_MAXENT_SOLVER_H_
 
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/hash.h"
 #include "common/status.h"
 #include "maxent/problem.h"
+
+namespace pme {
+class ThreadPool;  // common/thread_pool.h
+}
 
 namespace pme::maxent {
 
@@ -93,6 +99,14 @@ struct SolverOptions {
   /// 0 = hardware concurrency. Results are identical for any value — the
   /// per-block solves and the scatter order are deterministic.
   size_t threads = 1;
+  /// Shared worker pool for the block-decomposed solve. When set,
+  /// SolveDecomposed schedules its block tasks on this pool (batch
+  /// semantics: only this solve's blocks are awaited) instead of
+  /// spinning a private pool from `threads` — the serving path, where
+  /// many concurrent requests must share one fixed set of solver
+  /// threads. Not owned; must outlive the solve. `threads` is ignored
+  /// for scheduling when set.
+  ThreadPool* pool = nullptr;
   /// SolveDecomposed falls back to the monolithic Solve when the largest
   /// knowledge-coupled component covers more than this fraction of all
   /// variables: the decomposition would pay the full-matrix build plus a
@@ -127,6 +141,21 @@ struct SolverOptions {
   /// entry is non-finite, or `warm_start` is also set (the reduced-space
   /// start is more specific and wins). Not owned; must outlive Solve.
   const std::vector<double>* warm_start_original = nullptr;
+  /// Optional precomputed Theorem-5 prior for SolveDecomposed: must be
+  /// exactly ClosedFormNoKnowledge(table, index) of the table/index the
+  /// solve runs over (the artifact-serving path precomputes it once per
+  /// table). When set and correctly sized, the solve copies it instead
+  /// of re-deriving the closed form per call — byte-identical result,
+  /// O(table) work saved on every request. Not owned; must outlive the
+  /// call. Ignored by the monolithic Solve.
+  const std::vector<double>* closed_form_prior = nullptr;
+  /// Entropy of `closed_form_prior` (as computed by pme::Entropy), when
+  /// the caller precomputed it. Lets SolveDecomposed derive the result
+  /// entropy by adjusting only the coupled-block coordinates instead of
+  /// an O(variables) log pass. NaN (the default) disables the shortcut;
+  /// ignored unless `closed_form_prior` is set and used.
+  double closed_form_prior_entropy =
+      std::numeric_limits<double>::quiet_NaN();
   /// Component-solution cache consulted by SolveDecomposed (see
   /// maxent/solution_cache.h). Not owned; null disables caching
   /// regardless of `cache_mode`. The monolithic path (Solve, or the
@@ -135,6 +164,13 @@ struct SolverOptions {
   SolutionCache* solution_cache = nullptr;
   /// What to reuse from `solution_cache` (off | exact | warm).
   CacheMode cache_mode = CacheMode::kWarm;
+  /// Namespace mixed into every solution-cache key, exact and warm.
+  /// Callers sharing one SolutionCache across different tables — the
+  /// artifact-serving path — set this to the table artifact's content
+  /// hash so two tables that happen to produce colliding block digests
+  /// can never serve each other's solutions. The default (zero) keeps
+  /// all single-table callers in one namespace.
+  Hash128 cache_namespace{};
   /// SolveDecomposed: when a component's solve fails (non-finite
   /// iterate, injected fault, deadline, hard error), walk it down the
   /// degradation ladder — projected-gradient restart from best-so-far,

@@ -1,0 +1,50 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_SERVE_CLIENT_H_
+#define PME_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace pme::serve {
+
+/// Minimal blocking client for the newline-delimited JSON protocol —
+/// the test harness and the closed-loop bench. One socket per client;
+/// Call() is send-one-line, read-one-line.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  static Result<ServeClient> Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `line` (newline appended when missing).
+  Status Send(const std::string& line);
+
+  /// Blocks until one full response line arrives ('\n' stripped).
+  /// kIoError on EOF/reset.
+  Result<std::string> ReadLine();
+
+  /// Send + ReadLine.
+  Result<std::string> Call(const std::string& line);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace pme::serve
+
+#endif  // PME_SERVE_CLIENT_H_

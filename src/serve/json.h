@@ -1,0 +1,58 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+
+#ifndef PME_SERVE_JSON_H_
+#define PME_SERVE_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pme::serve {
+
+/// Minimal JSON document model for the newline-delimited serve protocol.
+/// Hand-rolled on purpose: the container bakes in no JSON dependency,
+/// and the protocol needs only flat objects with string/number/bool
+/// fields plus one string array. Numbers are doubles (the protocol has
+/// no 64-bit-exact integers); objects preserve insertion order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member with `key`, or null when absent (objects only).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error (the framing layer already split on newlines). Rejects input
+/// nested deeper than 32 levels with a kInvalidArgument carrying the
+/// byte offset of the problem.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included). Control characters become \u00XX.
+std::string EscapeJson(std::string_view s);
+
+/// Renders a double the way the protocol emits numbers: shortest
+/// round-trippable form, with non-finite values (which JSON cannot
+/// carry) clamped to null.
+std::string JsonNumber(double v);
+
+}  // namespace pme::serve
+
+#endif  // PME_SERVE_JSON_H_

@@ -1,0 +1,318 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/timer.h"
+#include "knowledge/parser.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+
+namespace pme::serve {
+namespace {
+
+/// Longest accepted request line; a client that streams more without a
+/// newline is protocol-broken and gets the connection closed.
+constexpr size_t kMaxLineBytes = 4u << 20;
+
+/// Full-buffer send; MSG_NOSIGNAL so a client that hung up mid-response
+/// surfaces as an error return instead of SIGPIPE.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+AnalysisServer::AnalysisServer(
+    std::shared_ptr<const core::TableArtifact> artifact,
+    std::shared_ptr<const data::Dataset> dataset, ServeOptions options)
+    : artifact_(std::move(artifact)),
+      dataset_(std::move(dataset)),
+      options_(std::move(options)) {}
+
+AnalysisServer::~AnalysisServer() { Shutdown(); }
+
+Status AnalysisServer::Start() {
+  if (artifact_ == nullptr) {
+    return Status::InvalidArgument("AnalysisServer: null artifact");
+  }
+  if (running_.load()) {
+    return Status::InvalidArgument("AnalysisServer: already started");
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.solver_threads);
+  if (options_.cache_mb > 0) {
+    cache_ = std::make_unique<maxent::SolutionCache>(options_.cache_mb << 20);
+  }
+  core::AnalysisOptions base = options_.analysis;
+  base.solver_options.pool = pool_.get();
+  base.solver_options.solution_cache = cache_.get();
+  if (cache_ == nullptr) {
+    base.solver_options.cache_mode = maxent::CacheMode::kOff;
+  }
+  session_ = std::make_unique<core::AnalysisSession>(artifact_, base);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " + err);
+  }
+  if (::listen(fd, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen: " + err);
+  }
+  // Recover the bound port (the ephemeral-port case: requested port 0).
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("getsockname: " + err);
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  running_.store(true);
+  shutting_down_.store(false);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void AnalysisServer::Shutdown() {
+  if (!running_.exchange(false)) return;
+  shutting_down_.store(true);
+  // Cooperative cancel first: in-flight solves stop at their next
+  // iteration check and answer with termination "cancelled".
+  shutdown_source_.Cancel();
+  // Wake the acceptor out of accept(2), then every handler out of recv.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) {
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) {
+      if (connection->thread.joinable()) connection->thread.join();
+      if (connection->fd >= 0) {
+        ::close(connection->fd);
+        connection->fd = -1;
+      }
+    }
+    connections_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  session_.reset();
+  cache_.reset();
+  pool_.reset();
+}
+
+ServeStats AnalysisServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void AnalysisServer::ReapFinishedConnections() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      if ((*it)->fd >= 0) ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t AnalysisServer::ActiveConnections() {
+  size_t active = 0;
+  for (const auto& connection : connections_) {
+    if (!connection->done.load()) ++active;
+  }
+  return active;
+}
+
+void AnalysisServer::AcceptLoop() {
+  while (!shutting_down_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (shutting_down_.load()) return;
+      // Transient accept failure (EMFILE, aborted handshake): keep
+      // serving the connections we have.
+      continue;
+    }
+    if (shutting_down_.load()) {
+      ::close(fd);
+      return;
+    }
+    // Failpoint `serve_accept_fail@N`: drop the Nth accepted connection
+    // before a handler spawns — the injected stand-in for accept-time
+    // failures. The server must keep serving subsequent connects.
+    if (PME_FAILPOINT("serve_accept_fail")) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.accept_failures;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    ReapFinishedConnections();
+    if (ActiveConnections() >= options_.max_connections) {
+      ::close(fd);
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.connections_rejected;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.connections_accepted;
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    connection->thread = std::thread([this, raw] { HandleConnection(raw); });
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void AnalysisServer::HandleConnection(Connection* connection) {
+  std::string buffer;
+  char chunk[4096];
+  while (!shutting_down_.load()) {
+    const ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: client is gone
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const std::string response = HandleLine(line) + "\n";
+      if (!SendAll(connection->fd, response)) {
+        connection->done.store(true);
+        return;
+      }
+    }
+    if (buffer.size() > kMaxLineBytes) break;  // unframed garbage
+  }
+  connection->done.store(true);
+}
+
+std::string AnalysisServer::HandleLine(const std::string& line) {
+  Timer timer;
+  auto bump = [this](size_t ServeStats::*counter) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++(stats_.*counter);
+  };
+  auto request_or = ParseAnalyzeRequest(line);
+  if (!request_or.ok()) {
+    bump(&ServeStats::requests_error);
+    // Best-effort id recovery so the client can still match the error to
+    // its request (the id may have parsed even when a later field did
+    // not).
+    std::string id;
+    if (auto doc = ParseJson(line); doc.ok()) {
+      if (const JsonValue* found = doc.value().Find("id"); found != nullptr) {
+        if (found->is_string()) id = found->string_value;
+        if (found->is_number()) id = JsonNumber(found->number_value);
+      }
+    }
+    return RenderAnalyzeResponse(MakeErrorResponse(id, request_or.status()));
+  }
+  const AnalyzeRequest& request = request_or.value();
+
+  knowledge::KnowledgeBase kb;
+  if (!request.knowledge.empty()) {
+    std::string text;
+    for (const std::string& statement : request.knowledge) {
+      text += statement;
+      text += '\n';
+    }
+    knowledge::ParserContext context;
+    context.dataset = dataset_.get();
+    if (Status s = knowledge::ParseKnowledge(text, context, &kb); !s.ok()) {
+      bump(&ServeStats::requests_error);
+      return RenderAnalyzeResponse(MakeErrorResponse(request.id, s));
+    }
+  }
+
+  core::AnalysisOptions run_options = session_->options();
+  if (request.has_solver) run_options.solver = request.solver;
+  if (request.has_cache) {
+    run_options.solver_options.cache_mode = request.cache;
+  }
+  // Deadline: the request's own budget wins; otherwise the server
+  // default applies (0 = unlimited). deadline_ms <= 0 is an
+  // already-expired budget — every component degrades to its
+  // closed-form prior and the response says so via `termination`.
+  const double deadline_ms = request.has_deadline
+                                 ? request.deadline_ms
+                                 : options_.default_deadline_ms;
+  if (request.has_deadline || options_.default_deadline_ms > 0) {
+    run_options.solver_options.deadline =
+        Deadline::AfterMillis(std::max(0.0, deadline_ms));
+  }
+  run_options.solver_options.cancel = shutdown_source_.token();
+
+  auto analysis = session_->Run(kb, run_options);
+  if (!analysis.ok()) {
+    bump(&ServeStats::requests_error);
+    return RenderAnalyzeResponse(
+        MakeErrorResponse(request.id, analysis.status()));
+  }
+  bump(&ServeStats::requests_ok);
+  if (analysis.value().solver.termination ==
+      StatusCode::kDeadlineExceeded) {
+    bump(&ServeStats::requests_deadline_exceeded);
+  }
+  return RenderAnalyzeResponse(MakeSuccessResponse(
+      request.id, analysis.value(), timer.ElapsedSeconds()));
+}
+
+}  // namespace pme::serve

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "anonymize/diversity.h"
+#include "bench/bench_common.h"
 #include "common/vec_math.h"
 #include "core/experiment.h"
 #include "knowledge/miner.h"
@@ -147,7 +148,7 @@ TEST_F(PipelineTest, SimdOffAndAutoAgreeEndToEnd) {
 TEST(CsvWriterTest, WritesHeaderAndRows) {
   const std::string path = ::testing::TempDir() + "/pme_csv_writer_test.csv";
   {
-    CsvWriter writer(path, {"k", "accuracy"});
+    bench::CsvWriter writer(path, {"k", "accuracy"});
     ASSERT_TRUE(writer.ok());
     writer.Row({10, 0.5});
     writer.Row({20, 0.25});
@@ -162,7 +163,7 @@ TEST(CsvWriterTest, WritesHeaderAndRows) {
 }
 
 TEST(CsvWriterTest, EmptyPathDisablesOutput) {
-  CsvWriter writer("", {"a"});
+  bench::CsvWriter writer("", {"a"});
   EXPECT_TRUE(writer.ok());
   writer.Row({1.0});  // must not crash
 }

@@ -1,0 +1,270 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// End-to-end tests of the `pme serve` layer: an in-process
+// AnalysisServer on an ephemeral port, exercised over real sockets with
+// the newline-delimited JSON protocol — round trips, malformed lines,
+// already-expired deadlines, 32-way concurrency with a clean shutdown,
+// and the serve_accept_fail failpoint.
+//
+// The failpoint cases live in their own suite (ServeFailpointTest) so
+// the CI failpoint matrix — which runs every other suite under each
+// PME_FAILPOINTS spec — can filter them out: they Configure() the
+// process-global registry themselves.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/experiment.h"
+#include "core/table_artifact.h"
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace pme::serve {
+namespace {
+
+core::PipelineOptions SmallPipeline() {
+  core::PipelineOptions options;
+  options.data.num_records = 400;
+  options.data.seed = 20080612;
+  options.anatomy.ell = 5;
+  options.miner.min_support_records = 3;
+  options.miner.max_attrs = 2;
+  return options;
+}
+
+/// One server per suite: pipeline, artifact, and an AnalysisServer bound
+/// to an ephemeral port.
+class ServeEndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new core::ExperimentPipeline(
+        core::BuildPipeline(SmallPipeline()).ValueOrDie());
+    dataset_ = std::shared_ptr<const data::Dataset>(
+        std::shared_ptr<const data::Dataset>(), &pipeline_->dataset);
+    artifact_ = new std::shared_ptr<const core::TableArtifact>(
+        core::TableArtifact::BuildBorrowed(
+            pipeline_->bucketization.table,
+            &pipeline_->bucketization.qi_encoder)
+            .ValueOrDie());
+    ServeOptions options;
+    options.port = 0;  // ephemeral
+    options.solver_threads = 2;
+    options.max_connections = 64;
+    server_ = new AnalysisServer(*artifact_, dataset_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  static void TearDownTestSuite() {
+    server_->Shutdown();
+    delete server_;
+    server_ = nullptr;
+    delete artifact_;
+    artifact_ = nullptr;
+    dataset_.reset();
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+
+  static ServeClient Connect() {
+    return ServeClient::Connect("127.0.0.1", server_->port()).ValueOrDie();
+  }
+
+  /// A knowledge statement guaranteed consistent with the table: a mined
+  /// rule's own conditional. `which` varies the rule.
+  static std::string Statement(size_t which) {
+    const auto& rules = pipeline_->rules;
+    return rules[which % rules.size()].ToStatement(pipeline_->dataset);
+  }
+
+  static JsonValue Parse(const std::string& line) {
+    return ParseJson(line).ValueOrDie();
+  }
+
+  static core::ExperimentPipeline* pipeline_;
+  static std::shared_ptr<const data::Dataset> dataset_;
+  static std::shared_ptr<const core::TableArtifact>* artifact_;
+  static AnalysisServer* server_;
+};
+
+core::ExperimentPipeline* ServeEndToEndTest::pipeline_ = nullptr;
+std::shared_ptr<const data::Dataset> ServeEndToEndTest::dataset_;
+std::shared_ptr<const core::TableArtifact>* ServeEndToEndTest::artifact_ =
+    nullptr;
+AnalysisServer* ServeEndToEndTest::server_ = nullptr;
+
+TEST_F(ServeEndToEndTest, RoundTripAnalyzeRequest) {
+  auto client = Connect();
+  const auto reply = client.Call(R"({"id":"r1","knowledge":[")" +
+                                 Statement(0) + R"("]})");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const JsonValue json = Parse(reply.value());
+  EXPECT_EQ(json.Find("id")->string_value, "r1");
+  EXPECT_TRUE(json.Find("ok")->bool_value);
+  EXPECT_EQ(json.Find("termination")->string_value, "ok");
+  EXPECT_TRUE(json.Find("converged")->bool_value);
+  EXPECT_FALSE(json.Find("degraded")->bool_value);
+  EXPECT_GT(json.Find("max_disclosure")->number_value, 0.0);
+  EXPECT_EQ(json.Find("num_background_constraints")->number_value, 1.0);
+}
+
+TEST_F(ServeEndToEndTest, KnowledgeFreeRequestUsesClosedForm) {
+  auto client = Connect();
+  const auto reply = client.Call(R"({"id":7})");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = Parse(reply.value());
+  EXPECT_EQ(json.Find("id")->string_value, "7");
+  EXPECT_TRUE(json.Find("ok")->bool_value);
+  // No knowledge: every component keeps the Theorem-5 closed form and
+  // the iterative solver never runs.
+  EXPECT_EQ(json.Find("iterations")->number_value, 0.0);
+  EXPECT_TRUE(json.Find("converged")->bool_value);
+}
+
+TEST_F(ServeEndToEndTest, MalformedLineKeepsConnectionServing) {
+  auto client = Connect();
+  const auto bad = client.Call("{not json");
+  ASSERT_TRUE(bad.ok());
+  const JsonValue bad_json = Parse(bad.value());
+  EXPECT_FALSE(bad_json.Find("ok")->bool_value);
+  EXPECT_FALSE(bad_json.Find("error")->string_value.empty());
+
+  // The same connection must keep serving.
+  const auto good = client.Call(R"({"id":"after","knowledge":[")" +
+                                Statement(1) + R"("]})");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(Parse(good.value()).Find("ok")->bool_value);
+}
+
+TEST_F(ServeEndToEndTest, UnknownSolverNameIsAnError) {
+  auto client = Connect();
+  const auto reply = client.Call(R"({"id":"s","solver":"simplex"})");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = Parse(reply.value());
+  EXPECT_FALSE(json.Find("ok")->bool_value);
+  EXPECT_EQ(json.Find("id")->string_value, "s");
+}
+
+TEST_F(ServeEndToEndTest, ExpiredDeadlineDegradesToPrior) {
+  auto client = Connect();
+  const auto reply = client.Call(R"({"id":"d","deadline_ms":0,"knowledge":[")" +
+                                 Statement(2) + R"("]})");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = Parse(reply.value());
+  // The never-empty-handed contract: still ok:true, with the budget
+  // exhaustion reported through termination/degraded.
+  EXPECT_TRUE(json.Find("ok")->bool_value);
+  EXPECT_EQ(json.Find("termination")->string_value, "deadline_exceeded");
+  EXPECT_TRUE(json.Find("degraded")->bool_value);
+  EXPECT_FALSE(json.Find("converged")->bool_value);
+}
+
+TEST_F(ServeEndToEndTest, ThirtyTwoConcurrentRequestsAndCleanShutdown) {
+  constexpr size_t kClients = 32;
+  const ServeStats before = server_->stats();
+  std::vector<std::string> replies(kClients);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      auto client = Connect();
+      std::string request;
+      if (i == 3) {
+        request = "][ definitely not json";  // malformed
+      } else if (i == 11) {
+        request = R"({"id":"expired","deadline_ms":0,"knowledge":[")" +
+                  Statement(i) + R"("]})";  // already past its deadline
+      } else {
+        request = R"({"id":)" + std::to_string(i) + R"(,"knowledge":[")" +
+                  Statement(i) + R"("]})";
+      }
+      auto reply = client.Call(request);
+      ASSERT_TRUE(reply.ok()) << "client " << i << ": "
+                              << reply.status().ToString();
+      replies[i] = std::move(reply).value();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  size_t ok = 0, errors = 0, expired = 0;
+  for (size_t i = 0; i < kClients; ++i) {
+    const JsonValue json = Parse(replies[i]);
+    if (!json.Find("ok")->bool_value) {
+      ++errors;
+    } else if (json.Find("termination")->string_value ==
+               "deadline_exceeded") {
+      ++expired;
+    } else {
+      ++ok;
+      EXPECT_TRUE(json.Find("converged")->bool_value) << "client " << i;
+    }
+  }
+  EXPECT_EQ(errors, 1u);
+  EXPECT_EQ(expired, 1u);
+  EXPECT_EQ(ok, kClients - 2);
+
+  const ServeStats after = server_->stats();
+  EXPECT_EQ(after.connections_accepted - before.connections_accepted,
+            kClients);
+  EXPECT_GE(after.requests_ok - before.requests_ok, kClients - 2);
+  EXPECT_GE(after.requests_error - before.requests_error, 1u);
+  EXPECT_GE(after.requests_deadline_exceeded -
+                before.requests_deadline_exceeded,
+            1u);
+  // Clean shutdown with all 32 connections drained is asserted by
+  // TearDownTestSuite (Shutdown joins every handler thread).
+}
+
+/// Failpoint suite: configures the process-global registry, so it must
+/// not run concurrently with (or inherit specs from) the matrix jobs.
+class ServeFailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::Reset(); }
+};
+
+TEST_F(ServeFailpointTest, AcceptFailpointDropsOneConnectionAndServerSurvives) {
+  if (!failpoint::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+
+  auto pipeline = core::BuildPipeline(SmallPipeline()).ValueOrDie();
+  auto artifact = core::TableArtifact::BuildBorrowed(
+                      pipeline.bucketization.table,
+                      &pipeline.bucketization.qi_encoder)
+                      .ValueOrDie();
+  ServeOptions options;
+  options.port = 0;
+  options.solver_threads = 1;
+  AnalysisServer server(
+      artifact,
+      std::shared_ptr<const data::Dataset>(
+          std::shared_ptr<const data::Dataset>(), &pipeline.dataset),
+      options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(failpoint::Configure("serve_accept_fail@1").ok());
+
+  // The first accepted connection is dropped before a handler spawns;
+  // the client sees a closed socket at connect or first I/O. Retry until
+  // a connection survives — the server must keep accepting.
+  Result<std::string> reply = Status::IoError("never connected");
+  for (int attempt = 0; attempt < 5 && !reply.ok(); ++attempt) {
+    auto connected = ServeClient::Connect("127.0.0.1", server.port());
+    if (!connected.ok()) continue;
+    ServeClient client = std::move(connected).value();
+    reply = client.Call(R"({"id":"fp"})");
+  }
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(ParseJson(reply.value()).ValueOrDie().Find("ok")->bool_value);
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.accept_failures, 1u);
+  EXPECT_GE(stats.requests_ok, 1u);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace pme::serve

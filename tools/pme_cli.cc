@@ -4,12 +4,15 @@
 //   synth    generate the synthetic Adult-like benchmark CSV
 //   mine     mine the strongest association rules from a CSV
 //   analyze  bucketize a CSV, apply a knowledge file, and quantify privacy
+//   serve    load one table artifact and serve JSON analyze requests
+//   help     print the usage synopsis
 //
 // Examples:
 //   pme synth --records=14210 --out=adult.csv
 //   pme mine --data=adult.csv --sensitive=education --top=20
 //   pme analyze --data=adult.csv --sensitive=education --ell=5
 //       --knowledge=knowledge.txt --report=report.txt
+//   pme serve --data=adult.csv --sensitive=education --port=7321
 //
 // Knowledge files use the statement language of knowledge/parser.h, e.g.:
 //   P(breast-cancer | gender=male) = 0
@@ -31,15 +34,18 @@
 #include "core/report.h"
 #include "data/adult_synth.h"
 #include "data/csv.h"
+#include "core/analysis_session.h"
+#include "core/table_artifact.h"
 #include "knowledge/miner.h"
 #include "knowledge/parser.h"
 #include "maxent/solution_cache.h"
+#include "serve/serve_main.h"
 
 namespace {
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: pme <synth|mine|analyze> [--flags]\n"
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: pme <synth|mine|analyze|serve|help> [--flags]\n"
                "  synth    --records=N --out=FILE [--seed=S]\n"
                "  mine     --data=FILE --sensitive=ATTR [--top=N]\n"
                "           [--minsupport=N] [--maxattrs=T]\n"
@@ -50,7 +56,19 @@ int Usage() {
                "[--deadline-ms=N] [--fallback=on|off]\n"
                "           [--cache=off|exact|warm] [--cache-mb=N] "
                "[--repeat=N]\n"
-               "           [--report=FILE] [--posterior=FILE]\n");
+               "           [--report=FILE] [--posterior=FILE]\n"
+               "  serve    [--data=FILE --sensitive=ATTR | --records=N] "
+               "[--ell=L]\n"
+               "           [--host=ADDR] [--port=N] [--threads=N] "
+               "[--deadline-ms=N]\n"
+               "           [--solver=...] [--cache=off|exact|warm] "
+               "[--cache-mb=N]\n"
+               "           [--max-connections=N]\n"
+               "  help     print this synopsis\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -208,12 +226,23 @@ int RunAnalyze(const pme::Flags& flags) {
     options.solver_options.solution_cache = &cache;
   }
 
+  // Build the immutable table artifact once — TermIndex, invariants,
+  // component base — and run every round as a session against it, so
+  // --repeat measures exactly the per-request cost an artifact-holding
+  // server pays.
+  pme::core::TableArtifactOptions artifact_options;
+  artifact_options.invariant_options = options.invariant_options;
+  artifact_options.threads = options.solver_options.threads;
+  auto artifact = pme::core::TableArtifact::BuildBorrowed(
+      bz.value().table, &bz.value().qi_encoder, artifact_options);
+  if (!artifact.ok()) return Fail(artifact.status());
+  const pme::core::AnalysisSession session(artifact.value(), options);
+
   const long long repeat = flags.GetInt("repeat", 1);
   pme::Result<pme::core::Analysis> analysis =
       pme::Status::Internal("analysis never ran");
   for (long long round = 0; round < std::max(repeat, 1LL); ++round) {
-    analysis = pme::core::Analyze(bz.value().table, kb, options,
-                                  &bz.value().qi_encoder);
+    analysis = session.Run(kb);
     if (!analysis.ok()) return Fail(analysis.status());
     if (repeat > 1) {
       const auto& solver = analysis.value().solver;
@@ -259,5 +288,11 @@ int main(int argc, char** argv) {
   if (command == "synth") return RunSynth(flags);
   if (command == "mine") return RunMine(flags);
   if (command == "analyze") return RunAnalyze(flags);
+  if (command == "serve") return pme::serve::ServeMain(flags);
+  if (command == "help" || command == "--help" || command == "-h") {
+    PrintUsage(stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "pme: unknown subcommand '%s'\n", command.c_str());
   return Usage();
 }

@@ -1,0 +1,16 @@
+// pme_serve — standalone Privacy-MaxEnt analyze server.
+//
+// Identical to `pme serve` (the pme_cli subcommand); a separate binary
+// so deployments can ship the server without the synth/mine/analyze
+// tooling.
+//
+//   pme_serve --records=2000 --ell=5 --port=7321 --threads=8
+//   pme_serve --data=adult.csv --sensitive=education --deadline-ms=500
+
+#include "common/flags.h"
+#include "serve/serve_main.h"
+
+int main(int argc, char** argv) {
+  pme::Flags flags(argc, argv);
+  return pme::serve::ServeMain(flags);
+}
