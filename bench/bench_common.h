@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/vec_math.h"
 #include "core/experiment.h"
@@ -133,6 +134,17 @@ class JsonWriter {
   }
   void Field(const std::string& key, size_t value) {
     fields_.emplace_back(key, std::to_string(value));
+  }
+  /// Embeds `json` verbatim as the value of `key` — the caller vouches
+  /// it is well-formed JSON (e.g. a metrics registry snapshot).
+  void RawField(const std::string& key, const std::string& json) {
+    fields_.emplace_back(key, json);
+  }
+  /// Captures the process metrics registry under a "metrics" key, so
+  /// BENCH_*.json files carry the cache/solver censuses alongside the
+  /// timings they explain.
+  void EmbedMetricsSnapshot() {
+    RawField("metrics", metrics::Registry::Global().RenderJson());
   }
 
   /// Starts a fresh row in the "series" array.

@@ -26,7 +26,9 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "core/analysis_session.h"
 #include "core/table_artifact.h"
 #include "knowledge/parser.h"
@@ -122,10 +124,11 @@ int main(int argc, char** argv) {
               "warm_rps", "w_p50ms", "w_p99ms", "cold_rps", "c_p50ms",
               "c_p99ms", "speedup");
 
-  double speedup_at_8 = 0.0;
-  for (size_t clients : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
-    // Warm phase: closed-loop socket clients against the shared-artifact
-    // server.
+  // One closed-loop warm phase: `clients` socket clients, `requests`
+  // calls each, against the shared-artifact server. Reused for the main
+  // sweep and for the instrumentation-overhead A/B.
+  const auto run_warm_phase = [&](size_t clients,
+                                  size_t requests) -> PhaseResult {
     std::vector<std::vector<double>> warm_lat(clients);
     std::atomic<size_t> warm_failures{0};
     pme::Timer warm_timer;
@@ -136,13 +139,13 @@ int main(int argc, char** argv) {
           auto connected =
               pme::serve::ServeClient::Connect("127.0.0.1", server.port());
           if (!connected.ok()) {
-            warm_failures += warm_requests;
+            warm_failures += requests;
             return;
           }
           pme::serve::ServeClient client = std::move(connected).value();
-          for (size_t i = 0; i < warm_requests; ++i) {
+          for (size_t i = 0; i < requests; ++i) {
             const std::string& statement =
-                statements[(c * warm_requests + i) % statements.size()];
+                statements[(c * requests + i) % statements.size()];
             pme::Timer t;
             auto reply = client.Call(R"({"id":"w","knowledge":[")" +
                                      statement + R"("]})");
@@ -156,8 +159,12 @@ int main(int argc, char** argv) {
       }
       for (auto& t : threads) t.join();
     }
-    const PhaseResult warm =
-        Summarize(warm_lat, warm_timer.ElapsedSeconds(), warm_failures);
+    return Summarize(warm_lat, warm_timer.ElapsedSeconds(), warm_failures);
+  };
+
+  double speedup_at_8 = 0.0;
+  for (size_t clients : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const PhaseResult warm = run_warm_phase(clients, warm_requests);
 
     // Cold phase: the same concurrency, but every request is a full
     // legacy Analyze — table-side rebuild included, no shared pool, no
@@ -218,9 +225,101 @@ int main(int argc, char** argv) {
     json.RowField("speedup", speedup);
   }
   json.Field("speedup_at_8_clients", speedup_at_8);
+
+  // Instrumentation overhead A/B: the same warm closed loop with the
+  // metrics + trace kill switches on vs off. Both runs hit the same
+  // hot cache, so the delta is the cost of the counters and spans
+  // themselves (acceptance: within 2% — but a socket-bound loop is
+  // noisy, so the gate is advisory via --max-overhead-pct).
+  const double max_overhead_pct = flags.GetDouble("max-overhead-pct", 0.0);
+  const size_t ab_clients = static_cast<size_t>(flags.GetInt("ab-clients", 4));
+  const PhaseResult instrumented = run_warm_phase(ab_clients, warm_requests);
+  pme::metrics::SetEnabled(false);
+  pme::trace::SetEnabled(false);
+  const PhaseResult uninstrumented = run_warm_phase(ab_clients, warm_requests);
+  pme::metrics::SetEnabled(true);
+  pme::trace::SetEnabled(true);
+  const double overhead_pct =
+      instrumented.rps > 0
+          ? (uninstrumented.rps / instrumented.rps - 1.0) * 100.0
+          : 0.0;
+  std::printf("# instrumentation A/B at %zu clients: %.1f rps on, %.1f rps "
+              "off, overhead %.2f%%\n",
+              ab_clients, instrumented.rps, uninstrumented.rps,
+              overhead_pct);
+  json.Field("instrumented_rps", instrumented.rps);
+  json.Field("uninstrumented_rps", uninstrumented.rps);
+  json.Field("instrumentation_overhead_pct", overhead_pct);
+
+  // --stats-check: issue a `stats` request over the wire and fail when
+  // the core counters of the request path are zero — the CI smoke gate
+  // that the registry is actually wired through serve, solve, and cache.
+  bool stats_ok = true;
+  if (flags.GetBool("stats-check", false)) {
+    auto connected =
+        pme::serve::ServeClient::Connect("127.0.0.1", server.port());
+    if (!connected.ok()) {
+      std::fprintf(stderr, "stats-check: connect failed: %s\n",
+                   connected.status().ToString().c_str());
+      stats_ok = false;
+    } else {
+      pme::serve::ServeClient client = std::move(connected).value();
+      auto reply = client.Call(R"({"id":"stats","verb":"stats"})");
+      auto doc = reply.ok() ? pme::serve::ParseJson(reply.value())
+                            : pme::Result<pme::serve::JsonValue>(
+                                  reply.status());
+      if (!doc.ok()) {
+        std::fprintf(stderr, "stats-check: bad stats reply: %s\n",
+                     doc.status().ToString().c_str());
+        stats_ok = false;
+      } else {
+        const auto counter = [&doc](const char* name) -> double {
+          const pme::serve::JsonValue* stats = doc.value().Find("stats");
+          if (stats == nullptr) return 0.0;
+          const pme::serve::JsonValue* counters = stats->Find("counters");
+          if (counters == nullptr) return 0.0;
+          const pme::serve::JsonValue* v = counters->Find(name);
+          return v != nullptr && v->is_number() ? v->number_value : 0.0;
+        };
+        const double requests_ok = counter("serve.requests_ok");
+        const double solve_runs = counter("solve.runs");
+        const double cache_touches = counter("cache.exact_hits") +
+                                     counter("cache.warm_hits") +
+                                     counter("cache.misses");
+        if (requests_ok <= 0 || solve_runs <= 0 || cache_touches <= 0) {
+          std::fprintf(stderr,
+                       "stats-check FAILED: serve.requests_ok=%.0f "
+                       "solve.runs=%.0f cache_touches=%.0f\n",
+                       requests_ok, solve_runs, cache_touches);
+          stats_ok = false;
+        } else {
+          std::printf("# stats-check ok: serve.requests_ok=%.0f "
+                      "solve.runs=%.0f cache_touches=%.0f\n",
+                      requests_ok, solve_runs, cache_touches);
+        }
+      }
+    }
+  }
+
   server.Shutdown();
+  json.EmbedMetricsSnapshot();
+
+  const std::string trace_path = flags.GetString("trace-out", "");
+  if (!trace_path.empty()) {
+    if (pme::trace::WriteChromeTrace(trace_path)) {
+      std::printf("# trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+    }
+  }
 
   std::printf("# acceptance: warm/cold throughput speedup at 8 clients = "
               "%.1fx (gate: >= %.1fx)\n", speedup_at_8, min_speedup);
+  if (!stats_ok) return 1;
+  if (max_overhead_pct > 0 && overhead_pct > max_overhead_pct) {
+    std::fprintf(stderr, "instrumentation overhead %.2f%% exceeds gate "
+                 "%.2f%%\n", overhead_pct, max_overhead_pct);
+    return 1;
+  }
   return speedup_at_8 >= min_speedup ? 0 : 1;
 }

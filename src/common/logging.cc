@@ -1,10 +1,13 @@
 #include "common/logging.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "common/trace.h"
 
 namespace pme {
 namespace {
-LogLevel g_min_level = LogLevel::kInfo;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,6 +24,24 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Resolves the starting minimum level: PME_LOG_LEVEL=debug|info|warning|
+/// error (case-sensitive, matching the enum spellings sans 'k') when set
+/// and recognized, kInfo otherwise.
+LogLevel InitialMinLevel() {
+  const char* env = std::getenv("PME_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warning") == 0 || std::strcmp(env, "warn") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel g_min_level = InitialMinLevel();
+
 }  // namespace
 
 void SetMinLogLevel(LogLevel level) { g_min_level = level; }
@@ -30,7 +51,18 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  // Prefix: monotonic seconds since the trace epoch, dense thread id,
+  // and — inside a request — the ambient trace id, so a log line can be
+  // matched to its span timeline.
+  char head[64];
+  std::snprintf(head, sizeof(head), "[%.6f tid=%u",
+                static_cast<double>(trace::NowNanos()) * 1e-9,
+                trace::CurrentThreadId());
+  stream_ << head;
+  if (const uint64_t trace_id = trace::CurrentTraceId(); trace_id != 0) {
+    stream_ << " trace=" << trace_id;
+  }
+  stream_ << " " << LevelName(level) << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

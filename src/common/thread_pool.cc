@@ -6,7 +6,36 @@
 #include <memory>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace pme {
+namespace {
+
+/// Registry handles resolved once; every pool in the process reports
+/// into the same pool.* metrics (the serve path owns a single pool, and
+/// ad-hoc ParallelFor pools are short-lived).
+struct PoolMetrics {
+  metrics::Counter* tasks;
+  metrics::Gauge* queue_depth;
+  metrics::Histogram* queue_wait_seconds;
+  metrics::Histogram* task_seconds;
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics m = [] {
+    auto& registry = metrics::Registry::Global();
+    PoolMetrics r;
+    r.tasks = &registry.GetCounter("pool.tasks");
+    r.queue_depth = &registry.GetGauge("pool.queue_depth");
+    r.queue_wait_seconds = &registry.GetHistogram("pool.queue_wait_seconds");
+    r.task_seconds = &registry.GetHistogram("pool.task_seconds");
+    return r;
+  }();
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = ResolveThreads(num_threads);
@@ -28,9 +57,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push(QueuedTask{std::move(task), trace::NowNanos()});
     ++in_flight_;
   }
+  GetPoolMetrics().queue_depth->Add(1);
   work_available_.notify_one();
 }
 
@@ -91,8 +121,9 @@ void ThreadPool::RecordTaskError(const char* what) {
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& pm = GetPoolMetrics();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -101,13 +132,20 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    const uint64_t started_ns = trace::NowNanos();
+    pm.queue_depth->Add(-1);
+    pm.queue_wait_seconds->Observe(
+        static_cast<double>(started_ns - task.enqueued_ns) * 1e-9);
     try {
-      task();
+      task.fn();
     } catch (const std::exception& e) {
       RecordTaskError(e.what());
     } catch (...) {
       RecordTaskError("non-std::exception");
     }
+    pm.tasks->Add();
+    pm.task_seconds->Observe(
+        static_cast<double>(trace::NowNanos() - started_ns) * 1e-9);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

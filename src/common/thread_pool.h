@@ -81,11 +81,18 @@ class ThreadPool {
                             const std::function<void(size_t)>& fn);
 
  private:
+  /// A queued task remembers when it was submitted so the worker can
+  /// observe its queue wait (pool.queue_wait_seconds) on dequeue.
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueued_ns = 0;
+  };
+
   void WorkerLoop();
   void RecordTaskError(const char* what);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <utility>
 
+#include "common/trace.h"
 #include "constraints/bk_compiler.h"
 #include "constraints/component_analysis.h"
 #include "constraints/system.h"
@@ -32,10 +34,20 @@ Result<Analysis> AnalysisSession::Run(const knowledge::KnowledgeBase& kb,
   const TableArtifact& artifact = *artifact_;
   const constraints::TermIndex& index = artifact.index();
 
-  PME_ASSIGN_OR_RETURN(
-      auto compiled,
-      constraints::CompileKnowledge(kb, artifact.table(), index,
-                                    artifact.qi_encoder()));
+  trace::TraceSpan session_span("session_run", "session");
+
+  std::optional<constraints::CompiledKnowledge> compiled_holder;
+  {
+    trace::TraceSpan compile_span("compile", "session");
+    PME_ASSIGN_OR_RETURN(
+        auto compiled_local,
+        constraints::CompileKnowledge(kb, artifact.table(), index,
+                                      artifact.qi_encoder()));
+    compile_span.AddArg("constraints",
+                        static_cast<double>(compiled_local.constraints.size()));
+    compiled_holder.emplace(std::move(compiled_local));
+  }
+  auto& compiled = *compiled_holder;
   const size_t num_bk = compiled.constraints.size();
 
   // One union-find pass over the knowledge rows alone — the artifact's
@@ -100,30 +112,37 @@ Result<Analysis> AnalysisSession::Run(const knowledge::KnowledgeBase& kb,
   analysis.decomposition =
       maxent::AnalyzeDecomposition(index, system, &components);
 
-  if (run_options.use_decomposition) {
-    run_options.solver_options.closed_form_prior =
-        &artifact.closed_form_prior();
-    run_options.solver_options.closed_form_prior_entropy =
-        artifact.closed_form_prior_entropy();
-    PME_ASSIGN_OR_RETURN(
-        analysis.solver,
-        maxent::SolveDecomposed(artifact.table(), index, system,
-                                run_options.solver,
-                                run_options.solver_options, &components));
-    // Per-block solve effort, aligned with the decomposition census's
-    // block numbering (component_outcomes are emitted in block-id order).
-    for (const auto& outcome : analysis.solver.component_outcomes) {
-      analysis.decomposition.coupled_component_iterations.push_back(
-          outcome.iterations);
-      analysis.decomposition.coupled_component_seconds.push_back(
-          outcome.seconds);
+  {
+    trace::TraceSpan solve_span("solve", "session");
+    if (run_options.use_decomposition) {
+      run_options.solver_options.closed_form_prior =
+          &artifact.closed_form_prior();
+      run_options.solver_options.closed_form_prior_entropy =
+          artifact.closed_form_prior_entropy();
+      PME_ASSIGN_OR_RETURN(
+          analysis.solver,
+          maxent::SolveDecomposed(artifact.table(), index, system,
+                                  run_options.solver,
+                                  run_options.solver_options, &components));
+      // Per-block solve effort, aligned with the decomposition census's
+      // block numbering (component_outcomes are emitted in block-id order).
+      for (const auto& outcome : analysis.solver.component_outcomes) {
+        analysis.decomposition.coupled_component_iterations.push_back(
+            outcome.iterations);
+        analysis.decomposition.coupled_component_seconds.push_back(
+            outcome.seconds);
+      }
+    } else {
+      PME_ASSIGN_OR_RETURN(auto problem, maxent::BuildProblem(system));
+      PME_ASSIGN_OR_RETURN(
+          analysis.solver,
+          maxent::Solve(problem, run_options.solver,
+                        run_options.solver_options));
     }
-  } else {
-    PME_ASSIGN_OR_RETURN(auto problem, maxent::BuildProblem(system));
-    PME_ASSIGN_OR_RETURN(
-        analysis.solver,
-        maxent::Solve(problem, run_options.solver,
-                      run_options.solver_options));
+    solve_span.AddArg("iterations",
+                      static_cast<double>(analysis.solver.iterations));
+    solve_span.AddArg("components",
+                      static_cast<double>(analysis.decomposition.num_components));
   }
 
   // Evaluation. On the reduced decomposed path the solve leaves every
@@ -134,6 +153,7 @@ Result<Analysis> AnalysisSession::Run(const knowledge::KnowledgeBase& kb,
   // and the aggregations replay the full rebuild's arithmetic, so both
   // paths agree bit for bit. The monolithic paths may move any
   // coordinate and evaluate from scratch.
+  trace::TraceSpan evaluate_span("evaluate", "session");
   if (run_options.use_decomposition && !wants_monolithic) {
     analysis.posterior = artifact.prior_posterior();
     PerQEvaluation eval = artifact.prior_evaluation();

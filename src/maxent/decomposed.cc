@@ -12,8 +12,10 @@
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/math_util.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "maxent/closed_form.h"
 #include "maxent/problem.h"
 #include "maxent/solution_cache.h"
@@ -123,6 +125,44 @@ std::vector<double> BuildWarmStart(const CachedComponentSolution& cached,
   return warm;
 }
 
+/// Process-wide solve.* metrics, mirroring the per-run SolverResult
+/// census so the `stats` verb can report fallback-ladder outcomes
+/// without threading result structs through the serve layer.
+struct SolveMetrics {
+  metrics::Counter* runs;
+  metrics::Counter* monolithic_fallbacks;
+  metrics::Counter* components_solved;
+  metrics::Counter* components_degraded;
+  metrics::Counter* components_failed;
+  metrics::Histogram* block_seconds;
+  metrics::Histogram* block_iterations;
+};
+
+SolveMetrics& GetSolveMetrics() {
+  static SolveMetrics m = [] {
+    auto& registry = metrics::Registry::Global();
+    SolveMetrics r;
+    r.runs = &registry.GetCounter("solve.runs");
+    r.monolithic_fallbacks =
+        &registry.GetCounter("solve.monolithic_fallbacks");
+    r.components_solved = &registry.GetCounter("solve.components_solved");
+    r.components_degraded =
+        &registry.GetCounter("solve.components_degraded");
+    r.components_failed = &registry.GetCounter("solve.components_failed");
+    r.block_seconds = &registry.GetHistogram("solve.block_seconds");
+    // Iteration counts: buckets [0,1), [1,2), [2,4) ... cover the
+    // fixed-point loop's realistic range up to ~2^30.
+    metrics::HistogramOptions iter_options;
+    iter_options.lowest = 1.0;
+    iter_options.growth = 2.0;
+    iter_options.num_buckets = 31;
+    r.block_iterations =
+        &registry.GetHistogram("solve.block_iterations", iter_options);
+    return r;
+  }();
+  return m;
+}
+
 }  // namespace
 
 Result<SolverResult> SolveDecomposed(
@@ -132,6 +172,8 @@ Result<SolverResult> SolveDecomposed(
     const SolverOptions& options,
     const constraints::ComponentAnalysis* precomputed) {
   Timer timer;
+  trace::TraceSpan solve_span("solve_decomposed", "solve");
+  GetSolveMetrics().runs->Add();
   std::optional<ComponentAnalysis> local_analysis;
   if (precomputed == nullptr) {
     local_analysis = ComponentAnalysis::Build(index, system);
@@ -163,6 +205,8 @@ Result<SolverResult> SolveDecomposed(
         PME_ASSIGN_OR_RETURN(mono, Solve(whole, kind, options));
       }
       mono.used_monolithic_fallback = true;
+      GetSolveMetrics().monolithic_fallbacks->Add();
+      solve_span.AddArg("monolithic", 1.0);
       return mono;
     }
   }
@@ -331,10 +375,18 @@ Result<SolverResult> SolveDecomposed(
   std::vector<size_t> block_attempts(blocks.size(), 0);
   std::vector<double> block_seconds(blocks.size(), 0.0);
   const size_t threads = ThreadPool::ResolveThreads(options.threads);
+  // Pool workers carry no ambient trace id of their own; capturing the
+  // requester's id here and re-installing it inside the task stitches
+  // worker-thread block spans into the request's timeline.
+  const uint64_t request_trace_id = trace::CurrentTraceId();
   const std::function<void(size_t)> block_task = [&](size_t i) {
         if (exact_hits[i] != nullptr) return;  // answered from the cache
+        trace::TraceIdScope trace_scope(request_trace_id);
+        trace::TraceSpan block_span("solve_block", "solve");
+        block_span.AddArg("block", static_cast<double>(i));
         Timer block_timer;
         const BlockSelection& sel = blocks[i];
+        block_span.AddArg("vars", static_cast<double>(sel.cols.size()));
         SolverOptions block_options = options;
         if (!warm_vectors[i].empty()) {
           block_options.warm_start_original = &warm_vectors[i];
@@ -510,6 +562,23 @@ Result<SolverResult> SolveDecomposed(
     result.component_outcomes.push_back(outcome);
   }
   if (!options.fallback && !pool_status.ok()) return pool_status;
+
+  {
+    SolveMetrics& sm = GetSolveMetrics();
+    sm.components_solved->Add(result.components_solved);
+    sm.components_degraded->Add(result.components_degraded);
+    sm.components_failed->Add(result.components_failed);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      if (exact_hits[i] != nullptr) continue;  // no solve ran
+      sm.block_seconds->Observe(block_seconds[i]);
+    }
+    for (const ComponentOutcome& outcome : result.component_outcomes) {
+      if (outcome.cache == CacheOutcome::kExactHit) continue;
+      sm.block_iterations->Observe(
+          static_cast<double>(outcome.iterations));
+    }
+    solve_span.AddArg("blocks", static_cast<double>(blocks.size()));
+  }
 
   // Publish freshly solved, acceptable block solutions — serially and in
   // block-id order, so insertions (and therefore evictions and the whole

@@ -4,8 +4,39 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace pme::maxent {
+namespace {
+
+/// Process-wide cache.* metrics. The per-shard census fields stay the
+/// per-instance source of truth for Stats(); the registry counters are
+/// the cross-cutting view the `stats` serve verb and --metrics-out dump.
+struct CacheMetrics {
+  metrics::Counter* exact_hits;
+  metrics::Counter* warm_hits;
+  metrics::Counter* misses;
+  metrics::Counter* insertions;
+  metrics::Counter* evictions;
+  metrics::Gauge* resident_doubles;
+};
+
+CacheMetrics& GetCacheMetrics() {
+  static CacheMetrics m = [] {
+    auto& registry = metrics::Registry::Global();
+    CacheMetrics r;
+    r.exact_hits = &registry.GetCounter("cache.exact_hits");
+    r.warm_hits = &registry.GetCounter("cache.warm_hits");
+    r.misses = &registry.GetCounter("cache.misses");
+    r.insertions = &registry.GetCounter("cache.insertions");
+    r.evictions = &registry.GetCounter("cache.evictions");
+    r.resident_doubles = &registry.GetGauge("cache.resident_doubles");
+    return r;
+  }();
+  return m;
+}
+
+}  // namespace
 
 SolutionCache::SolutionCache(size_t byte_budget)
     : byte_budget_(byte_budget),
@@ -22,11 +53,13 @@ std::shared_ptr<const CachedComponentSolution> SolutionCache::FindExact(
   auto it = shard.entries.find(exact_key);
   if (it == shard.entries.end()) {
     ++shard.misses;
+    GetCacheMetrics().misses->Add();
     return nullptr;
   }
   // Refresh the LRU position: a hit entry is the last to be evicted.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
   ++shard.exact_hits;
+  GetCacheMetrics().exact_hits->Add();
   return it->second.solution;
 }
 
@@ -50,6 +83,7 @@ std::shared_ptr<const CachedComponentSolution> SolutionCache::FindWarm(
     if (it != shard.entries.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
       ++shard.warm_hits;
+      GetCacheMetrics().warm_hits->Add();
       found = it->second.solution;
     }
   }
@@ -76,8 +110,11 @@ void SolutionCache::Insert(const Hash128& exact_key, const Hash128& vars_key,
     if (it != shard.entries.end()) {
       // Replace in place (same key, refreshed content — e.g. a tighter
       // re-solve of the same component).
-      shard.resident_doubles -= it->second.solution->ResidentDoubles();
+      const size_t replaced = it->second.solution->ResidentDoubles();
+      shard.resident_doubles -= replaced;
       shard.resident_doubles += doubles;
+      GetCacheMetrics().resident_doubles->Add(
+          static_cast<int64_t>(doubles) - static_cast<int64_t>(replaced));
       it->second.solution = std::move(shared);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
     } else {
@@ -86,6 +123,8 @@ void SolutionCache::Insert(const Hash128& exact_key, const Hash128& vars_key,
                             Entry{std::move(shared), shard.lru.begin()});
       shard.resident_doubles += doubles;
       ++shard.insertions;
+      GetCacheMetrics().insertions->Add();
+      GetCacheMetrics().resident_doubles->Add(static_cast<int64_t>(doubles));
     }
     EvictLocked(shard, shard_budget_doubles_);
     // Failpoint `cache_evict_race`: a deterministic stand-in for an
@@ -108,16 +147,21 @@ void SolutionCache::EvictLocked(Shard& shard, size_t budget_doubles) {
   while (shard.resident_doubles > budget_doubles && !shard.lru.empty()) {
     const Hash128 victim = shard.lru.back();
     auto it = shard.entries.find(victim);
-    shard.resident_doubles -= it->second.solution->ResidentDoubles();
+    const size_t evicted = it->second.solution->ResidentDoubles();
+    shard.resident_doubles -= evicted;
     shard.entries.erase(it);
     shard.lru.pop_back();
     ++shard.evictions;
+    GetCacheMetrics().evictions->Add();
+    GetCacheMetrics().resident_doubles->Add(-static_cast<int64_t>(evicted));
   }
 }
 
 void SolutionCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
+    GetCacheMetrics().resident_doubles->Add(
+        -static_cast<int64_t>(shard.resident_doubles));
     shard.entries.clear();
     shard.lru.clear();
     shard.warm_index.clear();

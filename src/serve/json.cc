@@ -117,6 +117,26 @@ class Parser {
     return Status::Ok();
   }
 
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Error("malformed \\u escape");
+      }
+    }
+    *out = code;
+    return Status::Ok();
+  }
+
   Status ParseString(std::string* out) {
     PME_RETURN_IF_ERROR(Expect('"'));
     out->clear();
@@ -143,30 +163,39 @@ class Parser {
         case 'r': out->push_back('\r'); break;
         case 't': out->push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return Error("malformed \\u escape");
+          PME_RETURN_IF_ERROR(ParseHex4(&code));
+          // Surrogate pairs: a high surrogate must be chased by an
+          // escaped low surrogate, and the pair combines into one
+          // astral code point — emitting the halves separately would
+          // produce CESU-8, which is not valid UTF-8.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
             }
+            pos_ += 2;
+            unsigned low = 0;
+            PME_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
           }
-          // UTF-8 encode the BMP code point (surrogate pairs land as two
-          // replacement sequences — the protocol's payloads are ASCII).
           if (code < 0x80) {
             out->push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out->push_back(static_cast<char>(0xC0 | (code >> 6)));
             out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/metrics.h"
 #include "serve/json.h"
 
 namespace pme::serve {
@@ -93,6 +94,26 @@ Result<AnalyzeRequest> ParseAnalyzeRequest(std::string_view line) {
                          ParseCacheModeName(cm->string_value));
     request.has_cache = true;
   }
+  if (const JsonValue* vb = doc.Find("verb"); vb != nullptr) {
+    if (!vb->is_string()) {
+      return Status::InvalidArgument("'verb' must be a string");
+    }
+    if (vb->string_value == "analyze") {
+      request.verb = Verb::kAnalyze;
+    } else if (vb->string_value == "stats") {
+      request.verb = Verb::kStats;
+    } else {
+      return Status::InvalidArgument(
+          "verb must be 'analyze' or 'stats', got '" + vb->string_value +
+          "'");
+    }
+  }
+  if (const JsonValue* tr = doc.Find("trace"); tr != nullptr) {
+    if (!tr->is_bool()) {
+      return Status::InvalidArgument("'trace' must be a boolean");
+    }
+    request.trace = tr->bool_value;
+  }
   return request;
 }
 
@@ -175,8 +196,41 @@ std::string RenderAnalyzeResponse(const AnalyzeResponse& response) {
   count("cache_exact_hits", response.cache_exact_hits);
   count("cache_warm_hits", response.cache_warm_hits);
   count("cache_misses", response.cache_misses);
+  if (!response.trace_json.empty()) {
+    out += ",\"trace\":" + response.trace_json;
+  }
   out += "}";
   return out;
+}
+
+std::string RenderTraceSpans(const std::vector<trace::TraceEvent>& events) {
+  std::string out = "[";
+  bool first = true;
+  for (const trace::TraceEvent& e : events) {
+    if (e.name == nullptr) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + EscapeJson(e.name) + "\"";
+    out += ",\"cat\":\"";
+    out += e.category != nullptr ? EscapeJson(e.category) : "pme";
+    out += "\",\"start_us\":" +
+           JsonNumber(static_cast<double>(e.start_ns) / 1e3);
+    out += ",\"dur_us\":" + JsonNumber(static_cast<double>(e.dur_ns) / 1e3);
+    out += ",\"tid\":" + std::to_string(e.tid);
+    for (size_t a = 0; a < 2; ++a) {
+      if (e.arg_names[a] == nullptr) continue;
+      out += ",\"" + EscapeJson(e.arg_names[a]) +
+             "\":" + JsonNumber(e.arg_values[a]);
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string RenderStatsResponse(const std::string& id) {
+  return "{\"id\":\"" + EscapeJson(id) + "\",\"ok\":true,\"stats\":" +
+         metrics::Registry::Global().RenderJson() + "}";
 }
 
 }  // namespace pme::serve

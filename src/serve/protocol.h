@@ -8,10 +8,16 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/privacy_maxent.h"
 #include "maxent/solver.h"
 
 namespace pme::serve {
+
+/// What a request line asks the server to do. `analyze` (the default)
+/// runs a solve; `stats` returns the process-wide metrics registry as
+/// JSON and touches no solver state.
+enum class Verb { kAnalyze, kStats };
 
 /// One analyze request, decoded from a newline-delimited JSON object:
 ///
@@ -19,7 +25,8 @@ namespace pme::serve {
 ///    "knowledge": ["P(flu | gender=male) = 0.3", ...],
 ///    "deadline_ms": 250,
 ///    "solver": "lbfgs",
-///    "cache": "warm"}
+///    "cache": "warm",
+///    "trace": true}
 ///
 /// Every field is optional. `knowledge` holds statement lines in the
 /// language of knowledge/parser.h (dataset-mode statements need the
@@ -28,8 +35,12 @@ namespace pme::serve {
 /// closed-form prior immediately (the protocol-level probe for deadline
 /// semantics). Absent `deadline_ms` inherits the server default.
 /// `solver` / `cache` override the server defaults per request.
+/// `trace: true` attaches the request's span breakdown (parse, compile,
+/// solve, per-block solves, evaluate) to the response under "trace".
+/// `{"verb": "stats"}` instead returns the metrics snapshot.
 struct AnalyzeRequest {
   std::string id;
+  Verb verb = Verb::kAnalyze;
   std::vector<std::string> knowledge;
   bool has_deadline = false;
   double deadline_ms = 0.0;
@@ -37,6 +48,7 @@ struct AnalyzeRequest {
   maxent::SolverKind solver = maxent::SolverKind::kLbfgs;
   bool has_cache = false;
   maxent::CacheMode cache = maxent::CacheMode::kWarm;
+  bool trace = false;
 };
 
 /// Parses one request line. kInvalidArgument on malformed JSON, unknown
@@ -78,6 +90,10 @@ struct AnalyzeResponse {
   size_t cache_exact_hits = 0;
   size_t cache_warm_hits = 0;
   size_t cache_misses = 0;
+
+  /// Pre-rendered JSON array of span objects (set only for
+  /// `"trace": true` requests); empty = no "trace" key in the output.
+  std::string trace_json;
 };
 
 /// Fills a success response from an Analysis (id/total_seconds are the
@@ -92,6 +108,15 @@ AnalyzeResponse MakeErrorResponse(const std::string& id,
 
 /// Renders the single-line JSON encoding (no trailing newline).
 std::string RenderAnalyzeResponse(const AnalyzeResponse& response);
+
+/// Renders captured spans as the protocol's "trace" array: one object
+/// per span with name, category, start/duration in microseconds, the
+/// worker thread id, and any numeric span args.
+std::string RenderTraceSpans(const std::vector<trace::TraceEvent>& events);
+
+/// Renders the `stats` verb's response line: {"id":…,"ok":true,
+/// "stats":<metrics::Registry JSON>}.
+std::string RenderStatsResponse(const std::string& id);
 
 /// Shared spellings of the solver / cache-mode enums ("lbfgs", "warm",
 /// ...), used by the protocol and the CLI flags alike.

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -10,7 +11,9 @@
 
 #include "anonymize/anatomy.h"
 #include "anonymize/bucketized_table.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "data/adult_synth.h"
 #include "data/csv.h"
 #include "serve/protocol.h"
@@ -120,6 +123,24 @@ int ServeMain(const Flags& flags) {
       "%zu past-deadline)\n",
       stats.connections_accepted, stats.requests_ok, stats.requests_error,
       stats.requests_deadline_exceeded);
+  if (const std::string path = flags.GetString("metrics-out", "");
+      !path.empty()) {
+    std::ofstream out(path);
+    if (out) {
+      out << metrics::Registry::Global().RenderJson() << "\n";
+      std::printf("pme serve: metrics written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    }
+  }
+  if (const std::string path = flags.GetString("trace-out", "");
+      !path.empty()) {
+    if (trace::WriteChromeTrace(path)) {
+      std::printf("pme serve: trace written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    }
+  }
   return 0;
 }
 

@@ -8,10 +8,14 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "knowledge/parser.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
@@ -37,6 +41,58 @@ bool SendAll(int fd, const std::string& data) {
     sent += static_cast<size_t>(n);
   }
   return true;
+}
+
+/// serve.* registry handles. The per-server ServeStats view is derived
+/// from these (baseline deltas), so there is no per-bump mutex left.
+struct ServeMetrics {
+  metrics::Counter* connections_accepted;
+  metrics::Counter* connections_rejected;
+  metrics::Counter* accept_failures;
+  metrics::Counter* requests_ok;
+  metrics::Counter* requests_error;
+  metrics::Counter* requests_deadline_exceeded;
+  metrics::Counter* requests_stats;
+  metrics::Gauge* connections_active;
+  metrics::Histogram* request_seconds;
+};
+
+ServeMetrics& GetServeMetrics() {
+  static ServeMetrics m = [] {
+    auto& registry = metrics::Registry::Global();
+    ServeMetrics r;
+    r.connections_accepted =
+        &registry.GetCounter("serve.connections_accepted");
+    r.connections_rejected =
+        &registry.GetCounter("serve.connections_rejected");
+    r.accept_failures = &registry.GetCounter("serve.accept_failures");
+    r.requests_ok = &registry.GetCounter("serve.requests_ok");
+    r.requests_error = &registry.GetCounter("serve.requests_error");
+    r.requests_deadline_exceeded =
+        &registry.GetCounter("serve.requests_deadline_exceeded");
+    r.requests_stats = &registry.GetCounter("serve.requests_stats");
+    r.connections_active = &registry.GetGauge("serve.connections_active");
+    r.request_seconds = &registry.GetHistogram("serve.request_seconds");
+    return r;
+  }();
+  return m;
+}
+
+/// Point-in-time registry values of the serve.* counters, in ServeStats
+/// shape.
+ServeStats ReadServeCounters() {
+  const auto& registry = metrics::Registry::Global();
+  ServeStats s;
+  s.connections_accepted =
+      registry.CounterValue("serve.connections_accepted");
+  s.connections_rejected =
+      registry.CounterValue("serve.connections_rejected");
+  s.accept_failures = registry.CounterValue("serve.accept_failures");
+  s.requests_ok = registry.CounterValue("serve.requests_ok");
+  s.requests_error = registry.CounterValue("serve.requests_error");
+  s.requests_deadline_exceeded =
+      registry.CounterValue("serve.requests_deadline_exceeded");
+  return s;
 }
 
 }  // namespace
@@ -108,9 +164,13 @@ Status AnalysisServer::Start() {
   }
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
+  // Per-server stats are deltas against the process-global serve.*
+  // counters from this point on.
+  baseline_ = ReadServeCounters();
   running_.store(true);
   shutting_down_.store(false);
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  PME_LOG(kInfo) << "serve: listening on " << options_.host << ":" << port_;
   return Status::Ok();
 }
 
@@ -152,8 +212,18 @@ void AnalysisServer::Shutdown() {
 }
 
 ServeStats AnalysisServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  const ServeStats now = ReadServeCounters();
+  ServeStats s;
+  s.connections_accepted =
+      now.connections_accepted - baseline_.connections_accepted;
+  s.connections_rejected =
+      now.connections_rejected - baseline_.connections_rejected;
+  s.accept_failures = now.accept_failures - baseline_.accept_failures;
+  s.requests_ok = now.requests_ok - baseline_.requests_ok;
+  s.requests_error = now.requests_error - baseline_.requests_error;
+  s.requests_deadline_exceeded = now.requests_deadline_exceeded -
+                                 baseline_.requests_deadline_exceeded;
+  return s;
 }
 
 void AnalysisServer::ReapFinishedConnections() {
@@ -195,22 +265,23 @@ void AnalysisServer::AcceptLoop() {
     // failures. The server must keep serving subsequent connects.
     if (PME_FAILPOINT("serve_accept_fail")) {
       ::close(fd);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.accept_failures;
+      GetServeMetrics().accept_failures->Add();
+      PME_LOG(kWarning) << "serve: accept failure injected, dropping "
+                           "connection";
       continue;
     }
     std::lock_guard<std::mutex> lock(connections_mutex_);
     ReapFinishedConnections();
     if (ActiveConnections() >= options_.max_connections) {
       ::close(fd);
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++stats_.connections_rejected;
+      GetServeMetrics().connections_rejected->Add();
+      PME_LOG(kWarning) << "serve: connection rejected, "
+                        << options_.max_connections
+                        << " connections already active";
       continue;
     }
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++stats_.connections_accepted;
-    }
+    GetServeMetrics().connections_accepted->Add();
+    GetServeMetrics().connections_active->Add(1);
     auto connection = std::make_unique<Connection>();
     connection->fd = fd;
     Connection* raw = connection.get();
@@ -235,24 +306,33 @@ void AnalysisServer::HandleConnection(Connection* connection) {
       if (line.empty()) continue;
       const std::string response = HandleLine(line) + "\n";
       if (!SendAll(connection->fd, response)) {
+        PME_LOG(kWarning) << "serve: client hung up mid-response";
         connection->done.store(true);
+        GetServeMetrics().connections_active->Add(-1);
         return;
       }
     }
-    if (buffer.size() > kMaxLineBytes) break;  // unframed garbage
+    if (buffer.size() > kMaxLineBytes) {
+      PME_LOG(kWarning) << "serve: dropping connection streaming "
+                        << buffer.size() << " bytes without a newline";
+      break;  // unframed garbage
+    }
   }
   connection->done.store(true);
+  GetServeMetrics().connections_active->Add(-1);
 }
 
 std::string AnalysisServer::HandleLine(const std::string& line) {
   Timer timer;
-  auto bump = [this](size_t ServeStats::*counter) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++(stats_.*counter);
-  };
+  ServeMetrics& sm = GetServeMetrics();
+  const uint64_t parse_start_ns = trace::NowNanos();
   auto request_or = ParseAnalyzeRequest(line);
+  const uint64_t parse_end_ns = trace::NowNanos();
   if (!request_or.ok()) {
-    bump(&ServeStats::requests_error);
+    sm.requests_error->Add();
+    sm.request_seconds->Observe(timer.ElapsedSeconds());
+    PME_LOG(kWarning) << "serve: malformed request: "
+                      << request_or.status().ToString();
     // Best-effort id recovery so the client can still match the error to
     // its request (the id may have parsed even when a later field did
     // not).
@@ -267,6 +347,44 @@ std::string AnalysisServer::HandleLine(const std::string& line) {
   }
   const AnalyzeRequest& request = request_or.value();
 
+  if (request.verb == Verb::kStats) {
+    sm.requests_stats->Add();
+    sm.request_seconds->Observe(timer.ElapsedSeconds());
+    return RenderStatsResponse(request.id);
+  }
+
+  // Every request runs under a fresh trace id (log lines and worker
+  // spans correlate through it); `"trace": true` additionally registers
+  // a capture so the finished spans ride back on the response.
+  const uint64_t trace_id = trace::NewTraceId();
+  trace::TraceIdScope trace_scope(trace_id);
+  std::optional<trace::RequestCapture> capture;
+  if (request.trace) {
+    capture.emplace(trace_id);
+    // The parse happened before the trace flag was known; backfill its
+    // span so traced responses still show the full lifecycle.
+    trace::TraceEvent parse_event;
+    parse_event.name = "parse";
+    parse_event.category = "serve";
+    parse_event.trace_id = trace_id;
+    parse_event.start_ns = parse_start_ns;
+    parse_event.dur_ns = parse_end_ns - parse_start_ns;
+    parse_event.tid = trace::CurrentThreadId();
+    trace::RecordEvent(parse_event);
+  }
+
+  auto fail = [&](const Status& status) {
+    sm.requests_error->Add();
+    sm.request_seconds->Observe(timer.ElapsedSeconds());
+    PME_LOG(kWarning) << "serve: request '" << request.id
+                      << "' failed: " << status.ToString();
+    AnalyzeResponse response = MakeErrorResponse(request.id, status);
+    if (capture.has_value()) {
+      response.trace_json = RenderTraceSpans(capture->TakeEvents());
+    }
+    return RenderAnalyzeResponse(response);
+  };
+
   knowledge::KnowledgeBase kb;
   if (!request.knowledge.empty()) {
     std::string text;
@@ -277,8 +395,7 @@ std::string AnalysisServer::HandleLine(const std::string& line) {
     knowledge::ParserContext context;
     context.dataset = dataset_.get();
     if (Status s = knowledge::ParseKnowledge(text, context, &kb); !s.ok()) {
-      bump(&ServeStats::requests_error);
-      return RenderAnalyzeResponse(MakeErrorResponse(request.id, s));
+      return fail(s);
     }
   }
 
@@ -302,17 +419,23 @@ std::string AnalysisServer::HandleLine(const std::string& line) {
 
   auto analysis = session_->Run(kb, run_options);
   if (!analysis.ok()) {
-    bump(&ServeStats::requests_error);
-    return RenderAnalyzeResponse(
-        MakeErrorResponse(request.id, analysis.status()));
+    return fail(analysis.status());
   }
-  bump(&ServeStats::requests_ok);
+  sm.requests_ok->Add();
   if (analysis.value().solver.termination ==
       StatusCode::kDeadlineExceeded) {
-    bump(&ServeStats::requests_deadline_exceeded);
+    sm.requests_deadline_exceeded->Add();
   }
-  return RenderAnalyzeResponse(MakeSuccessResponse(
-      request.id, analysis.value(), timer.ElapsedSeconds()));
+  AnalyzeResponse response = MakeSuccessResponse(
+      request.id, analysis.value(), timer.ElapsedSeconds());
+  if (capture.has_value()) {
+    // Session spans (compile/solve/evaluate and the worker-side block
+    // solves) have all completed by now — the solve barrier is behind
+    // us — so the capture is complete.
+    response.trace_json = RenderTraceSpans(capture->TakeEvents());
+  }
+  sm.request_seconds->Observe(timer.ElapsedSeconds());
+  return RenderAnalyzeResponse(response);
 }
 
 }  // namespace pme::serve

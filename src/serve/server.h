@@ -44,7 +44,10 @@ struct ServeOptions {
   size_t cache_mb = 64;
 };
 
-/// Observability counters (monotonic; snapshot via stats()).
+/// Observability counters (monotonic; snapshot via stats()). Backed by
+/// the process-wide metrics::Registry (serve.* counters): the server
+/// snapshots the registry at Start() and stats() reports the deltas, so
+/// per-server readings survive the counters being process-global.
 struct ServeStats {
   size_t connections_accepted = 0;
   size_t connections_rejected = 0;  // over max_connections
@@ -133,8 +136,8 @@ class AnalysisServer {
   std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
 
-  mutable std::mutex stats_mutex_;
-  ServeStats stats_;
+  /// Registry counter values at Start(); stats() = current − baseline.
+  ServeStats baseline_;
 };
 
 }  // namespace pme::serve

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <thread>
@@ -219,6 +220,130 @@ TEST_F(ServeEndToEndTest, ThirtyTwoConcurrentRequestsAndCleanShutdown) {
             1u);
   // Clean shutdown with all 32 connections drained is asserted by
   // TearDownTestSuite (Shutdown joins every handler thread).
+}
+
+TEST_F(ServeEndToEndTest, StatsVerbReflectsAJustServedRequest) {
+  auto client = Connect();
+  // Serve one analyze request first, so the registry census provably
+  // includes it by the time the stats verb reads the counters.
+  const auto served = client.Call(R"({"id":"warm","knowledge":[")" +
+                                  Statement(3) + R"("]})");
+  ASSERT_TRUE(served.ok());
+  ASSERT_TRUE(Parse(served.value()).Find("ok")->bool_value);
+
+  const auto reply = client.Call(R"({"id":"st","verb":"stats"})");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = Parse(reply.value());
+  EXPECT_EQ(json.Find("id")->string_value, "st");
+  EXPECT_TRUE(json.Find("ok")->bool_value);
+
+  const JsonValue* stats = json.Find("stats");
+  ASSERT_NE(stats, nullptr);
+  const JsonValue* counters = stats->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* requests_ok = counters->Find("serve.requests_ok");
+  ASSERT_NE(requests_ok, nullptr);
+  EXPECT_GE(requests_ok->number_value, 1.0);
+  const JsonValue* solve_runs = counters->Find("solve.runs");
+  ASSERT_NE(solve_runs, nullptr);
+  EXPECT_GE(solve_runs->number_value, 1.0);
+  // The solve above consulted the solution cache one way or another.
+  double cache_lookups = 0.0;
+  for (const char* name :
+       {"cache.exact_hits", "cache.warm_hits", "cache.misses"}) {
+    if (const JsonValue* c = counters->Find(name)) {
+      cache_lookups += c->number_value;
+    }
+  }
+  EXPECT_GE(cache_lookups, 1.0);
+
+  const JsonValue* histograms = stats->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* request_seconds =
+      histograms->Find("serve.request_seconds");
+  ASSERT_NE(request_seconds, nullptr);
+  EXPECT_GE(request_seconds->Find("count")->number_value, 1.0);
+  // The solver pool's queue-wait census exists once block solves ran.
+  EXPECT_NE(histograms->Find("pool.queue_wait_seconds"), nullptr);
+}
+
+TEST_F(ServeEndToEndTest, TraceFlagAttachesSpanBreakdown) {
+  auto client = Connect();
+  const auto reply = client.Call(R"({"id":"tr","trace":true,"knowledge":[")" +
+                                 Statement(4) + R"("]})");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = Parse(reply.value());
+  EXPECT_TRUE(json.Find("ok")->bool_value);
+
+  const JsonValue* spans = json.Find("trace");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  std::vector<std::string> names;
+  for (const JsonValue& span : spans->array) {
+    const JsonValue* name = span.Find("name");
+    ASSERT_NE(name, nullptr);
+    names.push_back(name->string_value);
+    EXPECT_GE(span.Find("dur_us")->number_value, 0.0);
+    EXPECT_GT(span.Find("tid")->number_value, 0.0);
+  }
+  const auto has = [&names](const char* name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  // The full request lifecycle: framing parse, the session wrapper, and
+  // its compile/solve/evaluate stages.
+  EXPECT_TRUE(has("parse")) << reply.value();
+  EXPECT_TRUE(has("session_run")) << reply.value();
+  EXPECT_TRUE(has("compile")) << reply.value();
+  EXPECT_TRUE(has("solve")) << reply.value();
+  EXPECT_TRUE(has("evaluate")) << reply.value();
+
+  // Without the flag the response carries no trace key.
+  const auto plain = client.Call(R"({"id":"nt","knowledge":[")" +
+                                 Statement(4) + R"("]})");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(Parse(plain.value()).Find("trace"), nullptr);
+}
+
+TEST_F(ServeEndToEndTest, UnknownVerbIsAnError) {
+  auto client = Connect();
+  const auto reply = client.Call(R"({"id":"v","verb":"shutdown"})");
+  ASSERT_TRUE(reply.ok());
+  const JsonValue json = Parse(reply.value());
+  EXPECT_FALSE(json.Find("ok")->bool_value);
+  EXPECT_EQ(json.Find("id")->string_value, "v");
+}
+
+// ------------------------------------------------------- JSON unicode
+
+TEST(JsonUnicodeTest, BasicMultilingualPlaneEscapesDecodeToUtf8) {
+  // \u escapes for A (1-byte), é (2-byte), € (3-byte UTF-8).
+  const JsonValue v = ParseJson(R"("\u0041\u00e9\u20ac")").ValueOrDie();
+  EXPECT_EQ(v.string_value, "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonUnicodeTest, SurrogatePairDecodesToOneAstralCodePoint) {
+  // U+1F600 as 😀 -> one 4-byte UTF-8 sequence, not CESU-8.
+  const JsonValue v = ParseJson(R"("\ud83d\ude00")").ValueOrDie();
+  EXPECT_EQ(v.string_value, "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonUnicodeTest, MalformedUnicodeEscapesAreErrors) {
+  EXPECT_FALSE(ParseJson(R"("\ud83d")").ok());         // unpaired high
+  EXPECT_FALSE(ParseJson(R"("\ud83dxy")").ok());       // high, no escape
+  EXPECT_FALSE(ParseJson(R"("\ud83d\u0041")").ok());   // invalid low half
+  EXPECT_FALSE(ParseJson(R"("\ude00")").ok());         // unpaired low
+  EXPECT_FALSE(ParseJson(R"("\u12g4")").ok());         // bad hex digit
+  EXPECT_FALSE(ParseJson(R"("\u123)").ok());           // truncated
+}
+
+TEST(JsonUnicodeTest, EscapeJsonRoundTripsControlCharacters) {
+  EXPECT_EQ(EscapeJson(std::string("\x01\x1f\n", 3)), "\\u0001\\u001f\\n");
+  EXPECT_EQ(EscapeJson("plain"), "plain");
+  const std::string original("a\x02"
+                             "b\tc");
+  const JsonValue v =
+      ParseJson("\"" + EscapeJson(original) + "\"").ValueOrDie();
+  EXPECT_EQ(v.string_value, original);
 }
 
 /// Failpoint suite: configures the process-global registry, so it must

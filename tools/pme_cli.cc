@@ -28,7 +28,9 @@
 #include "anonymize/bucketized_table.h"
 #include "common/deadline.h"
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "common/vec_math.h"
 #include "core/privacy_maxent.h"
 #include "core/report.h"
@@ -57,14 +59,20 @@ void PrintUsage(std::FILE* out) {
                "           [--cache=off|exact|warm] [--cache-mb=N] "
                "[--repeat=N]\n"
                "           [--report=FILE] [--posterior=FILE]\n"
+               "           [--metrics-out=FILE] [--trace-out=FILE]\n"
                "  serve    [--data=FILE --sensitive=ATTR | --records=N] "
                "[--ell=L]\n"
                "           [--host=ADDR] [--port=N] [--threads=N] "
                "[--deadline-ms=N]\n"
                "           [--solver=...] [--cache=off|exact|warm] "
                "[--cache-mb=N]\n"
-               "           [--max-connections=N]\n"
-               "  help     print this synopsis\n");
+               "           [--max-connections=N] "
+               "[--metrics-out=FILE] [--trace-out=FILE]\n"
+               "  help     print this synopsis\n"
+               "\n"
+               "--metrics-out dumps the metrics registry as JSON at exit;\n"
+               "--trace-out dumps recorded spans as Chrome trace-event JSON\n"
+               "(load in chrome://tracing or https://ui.perfetto.dev).\n");
 }
 
 int Usage() {
@@ -75,6 +83,30 @@ int Usage() {
 int Fail(const pme::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Honors --metrics-out / --trace-out: dumps the registry JSON and a
+/// loadable Chrome trace of every recorded span. Called on the way out
+/// of the subcommands that run solves.
+void DumpObservability(const pme::Flags& flags) {
+  const std::string metrics_path = flags.GetString("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (out) {
+      out << pme::metrics::Registry::Global().RenderJson() << "\n";
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot open %s\n", metrics_path.c_str());
+    }
+  }
+  const std::string trace_path = flags.GetString("trace-out", "");
+  if (!trace_path.empty()) {
+    if (pme::trace::WriteChromeTrace(trace_path)) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot open %s\n", trace_path.c_str());
+    }
+  }
 }
 
 pme::Result<pme::data::Dataset> LoadData(const pme::Flags& flags) {
@@ -242,6 +274,10 @@ int RunAnalyze(const pme::Flags& flags) {
   pme::Result<pme::core::Analysis> analysis =
       pme::Status::Internal("analysis never ran");
   for (long long round = 0; round < std::max(repeat, 1LL); ++round) {
+    // One top-level span per round, so a --repeat run with --trace-out
+    // opens in chrome://tracing as a timeline of rounds.
+    pme::trace::TraceSpan round_span("analysis_round", "cli");
+    round_span.AddArg("round", static_cast<double>(round + 1));
     analysis = session.Run(kb);
     if (!analysis.ok()) return Fail(analysis.status());
     if (repeat > 1) {
@@ -276,6 +312,7 @@ int RunAnalyze(const pme::Flags& flags) {
     out << pme::core::PosteriorToCsv(bz.value().table, analysis.value());
     std::printf("posterior written to %s\n", posterior_path.c_str());
   }
+  DumpObservability(flags);
   return 0;
 }
 
