@@ -11,8 +11,9 @@
 //                   BENCH_*.json perf trajectory tracked across PRs)
 //   --threads=N     worker threads for the block-decomposed solve
 //                   (0 = hardware concurrency)
-//   --simd=MODE     kernel dispatch: auto (default; AVX2+FMA when the
-//                   CPU has it) or off (portable scalar, for A/B runs)
+//   --simd=MODE     kernel dispatch: auto (default; best of AVX-512 /
+//                   AVX2+FMA the CPU supports), avx512, avx2, or off
+//                   (portable scalar, for A/B runs)
 //   --seed=S        dataset seed
 // and prints the same series the corresponding paper figure plots.
 

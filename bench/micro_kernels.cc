@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -18,15 +21,18 @@
 
 #include "anonymize/anatomy.h"
 #include "anonymize/bucketized_table.h"
+#include "common/arena.h"
 #include "common/prng.h"
 #include "common/vec_math.h"
 #include "constraints/bk_compiler.h"
 #include "constraints/invariants.h"
 #include "constraints/system.h"
 #include "constraints/term_index.h"
+#include "core/posterior.h"
 #include "data/adult_synth.h"
 #include "knowledge/miner.h"
 #include "maxent/closed_form.h"
+#include "maxent/decomposed.h"
 #include "maxent/dual.h"
 #include "maxent/problem.h"
 #include "maxent/solver.h"
@@ -113,7 +119,7 @@ void BM_DualEvaluate(benchmark::State& state) {
   pme::constraints::ConstraintSystem system(index.num_variables());
   system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
   auto problem = pme::maxent::BuildProblem(system).ValueOrDie();
-  pme::maxent::DualFunction dual(&problem.eq, &problem.eq_rhs);
+  pme::maxent::DualFunction dual(&problem.eq, problem.eq_rhs);
   std::vector<double> lambda(dual.dim(), 0.1), grad;
   for (auto _ : state) {
     double v = dual.Evaluate(lambda, &grad, nullptr);
@@ -135,7 +141,7 @@ void BM_DualEvaluateFused(benchmark::State& state) {
   pme::constraints::ConstraintSystem system(index.num_variables());
   system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
   auto problem = pme::maxent::BuildProblem(system).ValueOrDie();
-  pme::maxent::DualFunction dual(&problem.eq, &problem.eq_rhs);
+  pme::maxent::DualFunction dual(&problem.eq, problem.eq_rhs);
   std::vector<double> lambda(dual.dim(), 0.1), grad;
   pme::maxent::DualWorkspace ws;
   for (auto _ : state) {
@@ -152,9 +158,9 @@ BENCHMARK(BM_DualEvaluateFused)->Arg(100)->Arg(1000)->Arg(10000);
 /// is global, and a --simd=off run must stay off for the other benches).
 class SimdModeGuard {
  public:
-  explicit SimdModeGuard(bool simd_on) : saved_(pme::kernels::GetSimdMode()) {
-    pme::kernels::SetSimdMode(simd_on ? pme::kernels::SimdMode::kAuto
-                                      : pme::kernels::SimdMode::kOff);
+  explicit SimdModeGuard(pme::kernels::SimdMode mode)
+      : saved_(pme::kernels::GetSimdMode()) {
+    pme::kernels::SetSimdMode(mode);
   }
   ~SimdModeGuard() { pme::kernels::SetSimdMode(saved_); }
 
@@ -162,12 +168,29 @@ class SimdModeGuard {
   pme::kernels::SimdMode saved_;
 };
 
+/// Per-ISA A/B column encoding for the benchmark arg: 0 = scalar,
+/// 1 = AVX2+FMA, 2 = AVX-512. Forcing a tier the host lacks falls back
+/// down the dispatch ladder, so on an AVX2-only machine the tier-2 rows
+/// duplicate the tier-1 numbers (the row name records what was asked).
+pme::kernels::SimdMode ModeFromArg(int64_t arg) {
+  switch (arg) {
+    case 0:
+      return pme::kernels::SimdMode::kOff;
+    case 1:
+      return pme::kernels::SimdMode::kAvx2;
+    case 2:
+      return pme::kernels::SimdMode::kAvx512;
+    default:
+      return pme::kernels::SimdMode::kAuto;
+  }
+}
+
 void BM_ExpM1Kernel(benchmark::State& state) {
   // The p = exp(Aᵀλ − 1) pass in isolation: range(0) elements, range(1)
-  // selects scalar (0) or SIMD-auto (1). The ≥2x AVX2-vs-scalar claim in
-  // BENCH_kernels.json comes from this pair.
+  // selects the ISA tier (see ModeFromArg). The ≥2x SIMD-vs-scalar claim
+  // in BENCH_kernels.json comes from these columns.
   const size_t n = static_cast<size_t>(state.range(0));
-  SimdModeGuard guard(state.range(1) != 0);
+  SimdModeGuard guard(ModeFromArg(state.range(1)));
   pme::Prng prng(11);
   std::vector<double> x(n), y(n);
   // Typical dual exponents live in a modest range; seed a few clamp
@@ -183,14 +206,16 @@ void BM_ExpM1Kernel(benchmark::State& state) {
 BENCHMARK(BM_ExpM1Kernel)
     ->Args({4096, 0})
     ->Args({4096, 1})
+    ->Args({4096, 2})
     ->Args({65536, 0})
-    ->Args({65536, 1});
+    ->Args({65536, 1})
+    ->Args({65536, 2});
 
 void BM_ExpM1SumFused(benchmark::State& state) {
   // The fused in-place exp + horizontal-accumulate kernel the dual
   // objective actually calls.
   const size_t n = static_cast<size_t>(state.range(0));
-  SimdModeGuard guard(state.range(1) != 0);
+  SimdModeGuard guard(ModeFromArg(state.range(1)));
   pme::Prng prng(13);
   std::vector<double> x0(n), x(n);
   for (auto& v : x0) v = prng.NextDouble(-30.0, 10.0);
@@ -201,7 +226,153 @@ void BM_ExpM1SumFused(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
-BENCHMARK(BM_ExpM1SumFused)->Args({65536, 0})->Args({65536, 1});
+BENCHMARK(BM_ExpM1SumFused)
+    ->Args({65536, 0})
+    ->Args({65536, 1})
+    ->Args({65536, 2});
+
+void BM_LnLibm(benchmark::State& state) {
+  // The per-element std::log baseline the batched Ln kernel is measured
+  // against (the >= 2x claim in BENCH_kernels.json).
+  const size_t n = static_cast<size_t>(state.range(0));
+  pme::Prng prng(29);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = std::exp(prng.NextDouble(-20.0, 20.0));
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) y[i] = std::log(x[i]);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LnLibm)->Arg(4096)->Arg(65536);
+
+void BM_Ln(benchmark::State& state) {
+  // Batched natural log (the GIS multiplier update, entropy deltas).
+  const size_t n = static_cast<size_t>(state.range(0));
+  SimdModeGuard guard(ModeFromArg(state.range(1)));
+  pme::Prng prng(29);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = std::exp(prng.NextDouble(-20.0, 20.0));
+  for (auto _ : state) {
+    pme::kernels::Ln(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Ln)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({65536, 0})
+    ->Args({65536, 1})
+    ->Args({65536, 2});
+
+void BM_NegXLogXSum(benchmark::State& state) {
+  // Fused entropy reduction -sum x ln x (Entropy(), the per-q effective
+  // candidate count).
+  const size_t n = static_cast<size_t>(state.range(0));
+  SimdModeGuard guard(ModeFromArg(state.range(1)));
+  pme::Prng prng(31);
+  std::vector<double> x(n);
+  for (auto& v : x) v = prng.NextDouble(0.0, 1.0);
+  x[n / 3] = 0.0;  // keep the zero-handling lane honest
+  for (auto _ : state) {
+    double h = pme::kernels::NegXLogXSum(x);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_NegXLogXSum)
+    ->Args({65536, 0})
+    ->Args({65536, 1})
+    ->Args({65536, 2});
+
+void BM_KlDivergence(benchmark::State& state) {
+  // Fused KL reduction (estimation accuracy, per-q evaluation).
+  const size_t n = static_cast<size_t>(state.range(0));
+  SimdModeGuard guard(ModeFromArg(state.range(1)));
+  pme::Prng prng(37);
+  std::vector<double> p(n), q(n);
+  for (auto& v : p) v = prng.NextDouble(0.0, 1.0);
+  for (auto& v : q) v = prng.NextDouble(0.0, 1.0);
+  p[n / 5] = 0.0;
+  q[n / 7] = 0.0;  // exercises the q-floor clamp
+  for (auto _ : state) {
+    double d = pme::kernels::KlDivergence(p, q, 1e-12);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_KlDivergence)
+    ->Args({65536, 0})
+    ->Args({65536, 1})
+    ->Args({65536, 2});
+
+void BM_EvaluatePerQ(benchmark::State& state) {
+  // The serving layer's per-q evaluation sweep (KL + best guess +
+  // effective candidates per q row) end to end, per ISA tier.
+  auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
+  auto index = pme::constraints::TermIndex::Build(bz.table);
+  const auto truth = pme::core::PosteriorTable::GroundTruth(bz.table);
+  const auto estimate = pme::core::PosteriorTable::FromSolution(
+      bz.table, index, pme::maxent::ClosedFormNoKnowledge(bz.table, index));
+  SimdModeGuard guard(ModeFromArg(state.range(1)));
+  for (auto _ : state) {
+    auto eval = pme::core::EvaluatePerQ(truth, estimate);
+    benchmark::DoNotOptimize(eval.kl.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(truth.num_qi()));
+}
+BENCHMARK(BM_EvaluatePerQ)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 2});
+
+void BM_SolveDecomposedArena(benchmark::State& state) {
+  // The block-decomposed solve with the per-block scratch arena on (1)
+  // vs off (0): the off rows are the heap-allocation A/B control. The
+  // arena.* census for both rows lands in the JSON metrics snapshot.
+  auto bz = MakeBucketization(2000);
+  auto index = pme::constraints::TermIndex::Build(bz.table);
+  pme::constraints::ConstraintSystem system(index.num_variables());
+  system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
+  pme::knowledge::KnowledgeBase kb;
+  pme::Prng prng(5);
+  for (int i = 0; i < 64; ++i) {
+    const uint32_t q = static_cast<uint32_t>(
+        prng.NextBounded(bz.table.num_qi_values()));
+    const uint32_t s = static_cast<uint32_t>(
+        prng.NextBounded(bz.table.num_sa_values()));
+    kb.Add(pme::knowledge::AbstractConditional(
+        q, {s}, bz.table.TrueConditional(q, s)));
+  }
+  auto compiled =
+      pme::constraints::CompileKnowledge(kb, bz.table, index).ValueOrDie();
+  system.AddAll(std::move(compiled.constraints));
+  pme::Arena::SetEnabled(state.range(0) != 0);
+  auto& registry = pme::metrics::Registry::Global();
+  const uint64_t arena_before = registry.GetCounter("arena.allocs").Value();
+  const uint64_t heap_before =
+      registry.GetCounter("arena.heap_fallback_allocs").Value();
+  for (auto _ : state) {
+    auto result =
+        pme::maxent::SolveDecomposed(bz.table, index, system).ValueOrDie();
+    benchmark::DoNotOptimize(result.iterations);
+  }
+  // Per-solve allocation census for this arm alone (the global arena.*
+  // counters in the metrics snapshot mix both A/B arms): with the arena
+  // on, heap_fallback_allocs_per_solve must read ~0.
+  const double solves = static_cast<double>(std::max<int64_t>(
+      state.iterations(), 1));
+  state.counters["arena_allocs_per_solve"] = static_cast<double>(
+      registry.GetCounter("arena.allocs").Value() - arena_before) / solves;
+  state.counters["heap_fallback_allocs_per_solve"] = static_cast<double>(
+      registry.GetCounter("arena.heap_fallback_allocs").Value() -
+      heap_before) / solves;
+  pme::Arena::SetEnabled(true);
+}
+BENCHMARK(BM_SolveDecomposedArena)->Arg(0)->Arg(1);
 
 void BM_DualEvaluateSimd(benchmark::State& state) {
   // End-to-end dual evaluation (CSR transpose product, fused exp-sum,
@@ -211,10 +382,10 @@ void BM_DualEvaluateSimd(benchmark::State& state) {
   pme::constraints::ConstraintSystem system(index.num_variables());
   system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
   auto problem = pme::maxent::BuildProblem(system).ValueOrDie();
-  pme::maxent::DualFunction dual(&problem.eq, &problem.eq_rhs);
+  pme::maxent::DualFunction dual(&problem.eq, problem.eq_rhs);
   std::vector<double> lambda(dual.dim(), 0.1), grad;
   pme::maxent::DualWorkspace ws;
-  SimdModeGuard guard(state.range(1) != 0);
+  SimdModeGuard guard(ModeFromArg(state.range(1)));
   for (auto _ : state) {
     double v = dual.EvaluateInto(lambda, &grad, &ws);
     benchmark::DoNotOptimize(v);
@@ -226,8 +397,10 @@ void BM_DualEvaluateSimd(benchmark::State& state) {
 BENCHMARK(BM_DualEvaluateSimd)
     ->Args({10000, 0})
     ->Args({10000, 1})
+    ->Args({10000, 2})
     ->Args({14210, 0})
-    ->Args({14210, 1});
+    ->Args({14210, 1})
+    ->Args({14210, 2});
 
 void BM_SolveSimd(benchmark::State& state) {
   // Whole LBFGS solve (invariant system, no knowledge) under both
@@ -237,13 +410,16 @@ void BM_SolveSimd(benchmark::State& state) {
   pme::constraints::ConstraintSystem system(index.num_variables());
   system.AddAll(pme::constraints::GenerateInvariants(bz.table, index));
   auto problem = pme::maxent::BuildProblem(system).ValueOrDie();
-  SimdModeGuard guard(state.range(1) != 0);
+  SimdModeGuard guard(ModeFromArg(state.range(1)));
   for (auto _ : state) {
     auto result = pme::maxent::Solve(problem).ValueOrDie();
     benchmark::DoNotOptimize(result.iterations);
   }
 }
-BENCHMARK(BM_SolveSimd)->Args({2000, 0})->Args({2000, 1});
+BENCHMARK(BM_SolveSimd)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({2000, 2});
 
 void BM_ClosedForm(benchmark::State& state) {
   auto bz = MakeBucketization(static_cast<size_t>(state.range(0)));
@@ -304,6 +480,7 @@ class CapturingReporter : public benchmark::ConsoleReporter {
     std::string name;
     int64_t iterations;
     double seconds_per_iter;
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   void ReportRuns(const std::vector<Run>& reports) override {
@@ -316,6 +493,9 @@ class CapturingReporter : public benchmark::ConsoleReporter {
           run.iterations > 0
               ? run.real_accumulated_time / static_cast<double>(run.iterations)
               : 0.0;
+      for (const auto& [name, counter] : run.counters) {
+        row.counters.emplace_back(name, counter.value);
+      }
       rows_.push_back(std::move(row));
     }
     benchmark::ConsoleReporter::ReportRuns(reports);
@@ -330,11 +510,22 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 void WriteJson(const std::string& path,
                const std::vector<CapturingReporter::Row>& rows) {
   pme::bench::JsonWriter json(path, "micro_kernels");
+  // The host's active ISA tier plus the process metrics snapshot (which
+  // carries the arena.* allocation census the arena A/B rows explain).
+  json.Field("simd", std::string(pme::kernels::SimdModeName()));
+  json.Field("avx2_supported", static_cast<size_t>(
+                                   pme::kernels::Avx2Supported() ? 1 : 0));
+  json.Field("avx512_supported",
+             static_cast<size_t>(pme::kernels::Avx512Supported() ? 1 : 0));
+  json.EmbedMetricsSnapshot();
   for (const auto& row : rows) {
     json.BeginRow();
     json.RowField("name", row.name);
     json.RowField("iterations", static_cast<size_t>(row.iterations));
     json.RowField("seconds_per_iter", row.seconds_per_iter);
+    for (const auto& [name, value] : row.counters) {
+      json.RowField(name, value);
+    }
   }
   json.Write();
 }

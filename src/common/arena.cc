@@ -1,0 +1,190 @@
+#include "common/arena.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/metrics.h"
+
+namespace pme {
+namespace {
+
+/// Tag header preceding every ScratchVector allocation. 16 bytes keeps
+/// the payload 16-byte aligned (operator new and the arena both hand out
+/// 16-byte-aligned blocks).
+struct alignas(16) BlockHeader {
+  uint64_t magic;
+  uint64_t payload_bytes;
+};
+static_assert(sizeof(BlockHeader) == 16, "header must preserve alignment");
+
+constexpr uint64_t kArenaMagic = 0x41524e41504d4531ULL;  // "ARNAPME1"
+constexpr uint64_t kHeapMagic = 0x48454150504d4531ULL;   // "HEAPPME1"
+
+std::atomic<bool> g_arena_enabled{[] {
+  // PME_ARENA=off|0 disables the arena at startup (the CI A/B switch);
+  // the --arena CLI flag overrides at flag-parse time.
+  const char* env = std::getenv("PME_ARENA");
+  return !(env != nullptr &&
+           (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0));
+}()};
+
+/// Process-wide arena census in the metrics registry — the bench JSON and
+/// the `stats` serve verb read these.
+struct ArenaMetrics {
+  metrics::Counter* arena_allocs;
+  metrics::Counter* arena_bytes;
+  metrics::Counter* heap_fallback_allocs;
+  metrics::Counter* heap_fallback_bytes;
+  metrics::Counter* chunk_allocs;
+  metrics::Gauge* reserved_bytes;
+};
+
+ArenaMetrics& GetArenaMetrics() {
+  static ArenaMetrics m = [] {
+    auto& registry = metrics::Registry::Global();
+    ArenaMetrics r;
+    r.arena_allocs = &registry.GetCounter("arena.allocs");
+    r.arena_bytes = &registry.GetCounter("arena.bytes");
+    r.heap_fallback_allocs = &registry.GetCounter("arena.heap_fallback_allocs");
+    r.heap_fallback_bytes = &registry.GetCounter("arena.heap_fallback_bytes");
+    r.chunk_allocs = &registry.GetCounter("arena.chunk_allocs");
+    r.reserved_bytes = &registry.GetGauge("arena.reserved_bytes");
+    return r;
+  }();
+  return m;
+}
+
+inline size_t AlignUp(size_t v, size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  for (Chunk& c : chunks_) ::operator delete(c.data);
+}
+
+Arena& Arena::ThreadLocal() {
+  thread_local Arena arena;
+  return arena;
+}
+
+void Arena::SetEnabled(bool enabled) {
+  g_arena_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Arena::Enabled() {
+  return g_arena_enabled.load(std::memory_order_relaxed);
+}
+
+void Arena::Grow(size_t min_bytes) {
+  // Advance to an already-reserved later chunk when one fits (left behind
+  // by a previous high-water mark before a scope rewind); otherwise
+  // reserve a fresh chunk, doubling so the chunk count stays logarithmic
+  // in the high-water mark.
+  for (size_t k = chunks_.empty() ? 0 : current_ + 1; k < chunks_.size();
+       ++k) {
+    if (chunks_[k].size >= min_bytes) {
+      current_ = k;
+      offset_ = 0;
+      return;
+    }
+  }
+  size_t size = chunks_.empty() ? kMinChunkBytes : chunks_.back().size * 2;
+  while (size < min_bytes) size *= 2;
+  Chunk c;
+  c.data = static_cast<char*>(::operator new(size));
+  c.size = size;
+  chunks_.push_back(c);
+  current_ = chunks_.size() - 1;
+  offset_ = 0;
+  reserved_bytes_ += size;
+  ++stats_.chunk_allocs;
+  stats_.reserved_bytes = reserved_bytes_;
+  ArenaMetrics& m = GetArenaMetrics();
+  m.chunk_allocs->Add();
+  m.reserved_bytes->Set(static_cast<int64_t>(reserved_bytes_));
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0 && align <= 64);
+  if (chunks_.empty()) Grow(bytes + align);
+  size_t aligned = AlignUp(offset_, align);
+  if (aligned + bytes > chunks_[current_].size) {
+    Grow(bytes + align);
+    aligned = AlignUp(offset_, align);
+  }
+  void* p = chunks_[current_].data + aligned;
+  offset_ = aligned + bytes;
+  return p;
+}
+
+void Arena::Rewind(const Marker& m) {
+  assert(m.chunk <= current_);
+  current_ = m.chunk;
+  offset_ = m.offset;
+}
+
+size_t Arena::BytesInUse() const {
+  if (chunks_.empty()) return 0;
+  size_t used = offset_;
+  for (size_t k = 0; k < current_; ++k) used += chunks_[k].size;
+  return used;
+}
+
+ArenaScope::ArenaScope() : arena_(&Arena::ThreadLocal()) {
+  marker_ = arena_->Mark();
+  ++arena_->depth_;
+}
+
+ArenaScope::~ArenaScope() {
+  --arena_->depth_;
+  arena_->Rewind(marker_);
+}
+
+namespace internal {
+
+void* ScratchAllocate(size_t bytes) {
+  Arena& arena = Arena::ThreadLocal();
+  if (arena.InScope()) {
+    ArenaMetrics& m = GetArenaMetrics();
+    if (Arena::Enabled()) {
+      auto* header = static_cast<BlockHeader*>(
+          arena.Allocate(bytes + sizeof(BlockHeader), 16));
+      header->magic = kArenaMagic;
+      header->payload_bytes = bytes;
+      arena.CountScratch(bytes, /*from_arena=*/true);
+      m.arena_allocs->Add();
+      m.arena_bytes->Add(static_cast<uint64_t>(bytes));
+      return header + 1;
+    }
+    // Arena disabled but a scope is open: this is exactly the per-block
+    // heap allocation the arena exists to remove — count it so the A/B
+    // census can show the difference.
+    arena.CountScratch(bytes, /*from_arena=*/false);
+    m.heap_fallback_allocs->Add();
+    m.heap_fallback_bytes->Add(static_cast<uint64_t>(bytes));
+  }
+  auto* header =
+      static_cast<BlockHeader*>(::operator new(bytes + sizeof(BlockHeader)));
+  header->magic = kHeapMagic;
+  header->payload_bytes = bytes;
+  return header + 1;
+}
+
+void ScratchDeallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  BlockHeader* header = static_cast<BlockHeader*>(p) - 1;
+  if (header->magic == kHeapMagic) {
+    ::operator delete(header);
+    return;
+  }
+  // Arena block: reclaimed wholesale by the owning scope's rewind.
+  assert(header->magic == kArenaMagic);
+}
+
+}  // namespace internal
+}  // namespace pme

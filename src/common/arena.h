@@ -1,0 +1,187 @@
+// Copyright 2026 The Privacy-MaxEnt Reproduction Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Thread-local bump arena for the per-block scratch of the decomposed
+// solve. Each pool worker owns one Arena; a block task opens an
+// ArenaScope, every ScratchVector grown inside the scope bump-allocates
+// from the worker's arena, and scope exit rewinds the arena to its entry
+// marker in O(1) — the chunks stay resident, so a warm serve path reaches
+// a steady state with zero heap traffic per block.
+//
+// The allocator is scope-keyed rather than instance-keyed (idiom borrowed
+// from ion/base's Allocatable framework, where allocation context is
+// ambient rather than threaded through every constructor): a
+// ScratchVector constructed outside any scope is an ordinary heap vector,
+// so the same container types serve both the monolithic solve (no scope)
+// and the block solve (scoped) without a viral allocator parameter.
+//
+// Correctness rule: memory bump-allocated inside a scope dies with the
+// scope. Containers that escape a block task (SolverResult payloads, the
+// solution-cache entries) must be plain std::vector copies. Every
+// allocation carries a 16-byte tag header so deallocate() is correct for
+// any mix: arena blocks are a no-op (reclaimed by the scope rewind), heap
+// blocks free normally — even when a container outlives the scope it was
+// *constructed* in but only allocated on the heap.
+
+#ifndef PME_COMMON_ARENA_H_
+#define PME_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace pme {
+
+/// Census of the arena layer, exported through the metrics registry as
+/// arena.* counters and read back directly by benches/tests.
+struct ArenaStats {
+  uint64_t arena_allocs = 0;      ///< bump allocations served from a scope
+  uint64_t arena_bytes = 0;       ///< payload bytes served from a scope
+  uint64_t heap_fallback_allocs = 0;  ///< in-scope allocs that hit the heap
+                                      ///< (arena disabled — the A/B control)
+  uint64_t heap_fallback_bytes = 0;
+  uint64_t chunk_allocs = 0;      ///< backing chunks grabbed from the heap
+  uint64_t reserved_bytes = 0;    ///< bytes resident in this thread's chunks
+};
+
+/// One thread's bump region. Use Arena::ThreadLocal(); direct construction
+/// is for tests.
+class Arena {
+ public:
+  /// Backing chunks start at 256 KiB and double per growth, so a handful
+  /// of chunk mallocs amortize thousands of block solves.
+  static constexpr size_t kMinChunkBytes = 256 * 1024;
+
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// The calling thread's arena (created on first use, freed at thread
+  /// exit).
+  static Arena& ThreadLocal();
+
+  /// Process-wide kill switch (--arena=off / PME_ARENA=off): scopes still
+  /// open and the census still counts, but every allocation goes to the
+  /// heap — the A/B control for the allocation benchmarks.
+  static void SetEnabled(bool enabled);
+  static bool Enabled();
+
+  /// Bump-allocates `bytes` aligned to `align` (power of two <= 64).
+  void* Allocate(size_t bytes, size_t align);
+
+  /// True while at least one ArenaScope is open on this thread's arena.
+  bool InScope() const { return depth_ > 0; }
+
+  /// Position marker for scope rewind.
+  struct Marker {
+    size_t chunk = 0;
+    size_t offset = 0;
+  };
+  Marker Mark() const { return {current_, offset_}; }
+  void Rewind(const Marker& m);
+
+  /// Bytes currently resident in backing chunks (capacity, not usage).
+  size_t ReservedBytes() const { return reserved_bytes_; }
+  /// Bytes bump-allocated past the given marker right now.
+  size_t BytesInUse() const;
+
+  /// This thread's cumulative census. The process-wide census lives in
+  /// the metrics registry (arena.* counters).
+  const ArenaStats& stats() const { return stats_; }
+
+  /// Records one ScratchVector allocation in the thread census (called by
+  /// the allocator entry points).
+  void CountScratch(size_t bytes, bool from_arena) {
+    if (from_arena) {
+      ++stats_.arena_allocs;
+      stats_.arena_bytes += bytes;
+    } else {
+      ++stats_.heap_fallback_allocs;
+      stats_.heap_fallback_bytes += bytes;
+    }
+  }
+
+ private:
+  friend class ArenaScope;
+
+  struct Chunk {
+    char* data = nullptr;
+    size_t size = 0;
+  };
+
+  void Grow(size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  size_t current_ = 0;   // index of the chunk being bumped
+  size_t offset_ = 0;    // bump offset inside chunks_[current_]
+  size_t reserved_bytes_ = 0;
+  int depth_ = 0;        // open ArenaScope count
+  ArenaStats stats_;
+};
+
+/// RAII scope: while alive, ScratchVector allocations on this thread draw
+/// from the thread's arena; destruction rewinds the arena to the entry
+/// marker. Scopes nest (the fallback ladder re-solves inside a block
+/// scope); each rewinds only its own allocations.
+class ArenaScope {
+ public:
+  ArenaScope();
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena::Marker marker_;
+};
+
+namespace internal {
+/// Tagged allocation entry points (definitions in arena.cc): the returned
+/// payload is preceded by a 16-byte header recording whether it came from
+/// the arena (deallocate is a no-op) or the heap (deallocate frees).
+void* ScratchAllocate(size_t bytes);
+void ScratchDeallocate(void* p) noexcept;
+}  // namespace internal
+
+/// Scope-keyed allocator: inside an ArenaScope (and with the arena
+/// enabled) allocations bump the thread-local arena; otherwise they are
+/// ordinary heap allocations. Always-equal, so containers swap and move
+/// freely across scopes — the per-allocation tag keeps deallocation
+/// correct regardless of where the container ends up.
+template <typename T>
+class ArenaAllocator {
+ public:
+  static_assert(alignof(T) <= 16, "arena payloads are 16-byte aligned");
+  using value_type = T;
+  using is_always_equal = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ArenaAllocator() noexcept = default;
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(internal::ScratchAllocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) noexcept { internal::ScratchDeallocate(p); }
+
+  friend bool operator==(const ArenaAllocator&, const ArenaAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const ArenaAllocator&, const ArenaAllocator&) {
+    return false;
+  }
+};
+
+/// The scratch container of the solve path: a std::vector that
+/// bump-allocates while an ArenaScope is open and heap-allocates
+/// otherwise.
+template <typename T>
+using ScratchVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace pme
+
+#endif  // PME_COMMON_ARENA_H_

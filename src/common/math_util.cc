@@ -31,13 +31,10 @@ double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
 
 double KlDivergence(const double* p, const double* q, size_t n,
                     double q_floor) {
-  double kl = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    if (p[i] <= 0.0) continue;
-    const double qi = std::max(q[i], q_floor);
-    kl += p[i] * std::log(p[i] / qi);
-  }
-  return kl;
+  // Fused vector pass: p/max(q, floor), batched ln, masked accumulate —
+  // one sweep instead of n scalar std::log calls.
+  return kernels::KlDivergence(kernels::ConstSpan(p, n),
+                               kernels::ConstSpan(q, n), q_floor);
 }
 
 double LogSumExp(const std::vector<double>& x) {

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace pme::kernels {
@@ -20,28 +21,47 @@ struct Span {
 
   Span() = default;
   Span(double* d, size_t n) : data(d), size(n) {}
-  Span(std::vector<double>& v) : data(v.data()), size(v.size()) {}  // NOLINT
+  /// Implicit from any contiguous double container (std::vector,
+  /// ScratchVector) so call sites stay terse across allocator types.
+  template <typename C,
+            typename = std::enable_if_t<std::is_same_v<
+                decltype(std::declval<C&>().data()), double*>>>
+  Span(C& v) : data(v.data()), size(v.size()) {}  // NOLINT
+
+  double& operator[](size_t i) const { return data[i]; }
+  double* begin() const { return data; }
+  double* end() const { return data + size; }
 };
 
-/// Non-owning read-only view; implicitly constructible from Span and
-/// std::vector<double> so call sites stay terse.
+/// Non-owning read-only view; implicitly constructible from Span and any
+/// contiguous double container so call sites stay terse.
 struct ConstSpan {
   const double* data = nullptr;
   size_t size = 0;
 
   ConstSpan() = default;
   ConstSpan(const double* d, size_t n) : data(d), size(n) {}
-  ConstSpan(const std::vector<double>& v)  // NOLINT
+  template <typename C,
+            typename = std::enable_if_t<std::is_convertible_v<
+                decltype(std::declval<const C&>().data()), const double*>>>
+  ConstSpan(const C& v)  // NOLINT
       : data(v.data()), size(v.size()) {}
   ConstSpan(Span s) : data(s.data), size(s.size) {}  // NOLINT
+
+  double operator[](size_t i) const { return data[i]; }
+  const double* begin() const { return data; }
+  const double* end() const { return data + size; }
 };
 
-/// SIMD dispatch policy. The fastest implementation the CPU supports is
-/// selected once at startup; `kOff` forces the portable scalar path (the
-/// `--simd=off` A/B-benching and parity-testing mode).
+/// SIMD dispatch policy. `kAuto` selects the fastest table the CPU (and
+/// OS, via XCR0) supports; the explicit tiers pin a table for A/B benching
+/// and parity testing, falling back to the next-best supported table when
+/// the pinned one cannot run here.
 enum class SimdMode {
-  kAuto = 0,  ///< use AVX2+FMA when the CPU has it, scalar otherwise
-  kOff = 1,   ///< portable scalar kernels only
+  kAuto = 0,    ///< fastest supported: AVX-512 > AVX2+FMA > scalar
+  kOff = 1,     ///< portable scalar kernels only
+  kAvx2 = 2,    ///< AVX2+FMA table (scalar when unsupported)
+  kAvx512 = 3,  ///< AVX-512 table (AVX2 or scalar when unsupported)
 };
 
 /// Re-runs kernel dispatch under the given policy. Not thread-safe
@@ -52,12 +72,16 @@ void SetSimdMode(SimdMode mode);
 /// The currently requested policy.
 SimdMode GetSimdMode();
 
-/// Parses a `--simd` flag value: "off" selects SimdMode::kOff, anything
-/// else (including "auto") selects kAuto.
+/// Parses a `--simd` flag value: off|avx2|avx512|auto (unknown values warn
+/// and select kAuto).
 SimdMode ParseSimdMode(const std::string& value);
 
 /// Name of the instruction set behind the active dispatch table:
-/// "avx2+fma" or "scalar".
+/// "avx512", "avx2+fma" or "scalar". This reflects what actually runs —
+/// a pinned-but-unsupported mode reports the table it fell back to.
+const char* SimdModeName();
+
+/// Legacy alias for SimdModeName().
 const char* ActiveIsa();
 
 /// True when a vectorized (non-scalar) dispatch table is active.
@@ -67,6 +91,11 @@ bool SimdActive();
 /// regardless of the current mode (used by parity tests to decide whether
 /// the two paths genuinely differ).
 bool Avx2Supported();
+
+/// True when the CPU supports AVX-512F+DQ *and* the OS has enabled the
+/// ZMM/opmask state (CPUID + XCR0 check — a hypervisor or kernel that
+/// masks XSAVE state must not let us fault on the first vzmm load).
+bool Avx512Supported();
 
 // ---------------------------------------------------------------------------
 // Kernels. All follow SafeExp clamping semantics where exponentials are
@@ -85,6 +114,21 @@ double ExpM1SumInPlace(Span x);
 /// Σ_i exp(x_i - shift) without storing the terms (LogSumExp's second
 /// pass; `shift` is the max element).
 double SumExpShifted(ConstSpan x, double shift);
+
+/// y_i = ln(x_i), the batched natural log behind Entropy/KlDivergence and
+/// the GIS multiplier update. IEEE special cases match libm: ln(0) = -inf,
+/// ln(x<0) = NaN, ln(inf) = inf, NaN propagates; denormals are
+/// renormalized, not flushed. In-place use (x.data == y.data) is allowed.
+void Ln(ConstSpan x, Span y);
+
+/// -Σ_i v_i ln v_i with the 0·ln 0 = 0 convention (entropy accumulation).
+/// Entries <= 0 contribute zero via the same branch-free select the
+/// vector path uses, so all tables agree to <= 1e-12 even on subnormals.
+double NegXLogXSum(ConstSpan v);
+
+/// Σ_i p_i ln(p_i / max(q_i, q_floor)) with p_i <= 0 contributing zero —
+/// the fused KL pass of the per-q posterior evaluation.
+double KlDivergence(ConstSpan p, ConstSpan q, double q_floor);
 
 /// Dot product aᵀb.
 double Dot(ConstSpan a, ConstSpan b);
@@ -107,10 +151,6 @@ double InfNorm(ConstSpan v);
 
 /// max_i v_i (-inf for empty input).
 double MaxVal(ConstSpan v);
-
-/// -Σ_i v_i ln v_i with the 0·ln 0 = 0 convention (entropy accumulation;
-/// scalar on every ISA — it runs once per solve, not once per iteration).
-double NegXLogXSum(ConstSpan v);
 
 }  // namespace pme::kernels
 

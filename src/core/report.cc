@@ -7,6 +7,7 @@
 
 #include "anonymize/diversity.h"
 #include "common/string_util.h"
+#include "common/vec_math.h"
 
 namespace pme::core {
 namespace {
@@ -50,6 +51,7 @@ std::string RenderPrivacyReport(const anonymize::BucketizedTable& table,
   out << "[maxent solve]\n";
   out << "  solver:            "
       << maxent::SolverKindToString(analysis.solver.kind) << "\n";
+  out << "  kernel isa:        " << kernels::SimdModeName() << "\n";
   out << "  iterations:        " << analysis.solver.iterations << "\n";
   out << "  wall time:         " << Fmt("%.3f s", analysis.solver.seconds)
       << "\n";

@@ -5,8 +5,9 @@
 
 namespace pme::linalg {
 
-Result<SparseMatrix> SparseMatrix::FromTriplets(size_t rows, size_t cols,
-                                                std::vector<Triplet> triplets) {
+template <typename TripletVec>
+Result<SparseMatrix> SparseMatrix::BuildCsr(size_t rows, size_t cols,
+                                            TripletVec& triplets) {
   for (const Triplet& t : triplets) {
     if (t.row >= rows || t.col >= cols) {
       return Status::InvalidArgument("triplet index out of bounds");
@@ -43,6 +44,11 @@ Result<SparseMatrix> SparseMatrix::FromTriplets(size_t rows, size_t cols,
   }
   m.row_offsets_[rows] = m.values_.size();
   return m;
+}
+
+Result<SparseMatrix> SparseMatrix::FromTriplets(size_t rows, size_t cols,
+                                                std::vector<Triplet> triplets) {
+  return BuildCsr(rows, cols, triplets);
 }
 
 SparseMatrix SparseMatrix::FromDense(
@@ -203,28 +209,73 @@ std::vector<std::vector<double>> SparseMatrix::ToDense() const {
 Result<SparseMatrix> SparseMatrix::Submatrix(
     const std::vector<uint32_t>& row_ids,
     const std::vector<uint32_t>& col_ids) const {
-  std::vector<int64_t> col_map(cols_, -1);
+  // Direct CSR construction: the source rows already carry unique column
+  // indices, so the slice needs no triplet staging, no dedupe pass, and
+  // no global sort — only a per-row ordering fix when the requested
+  // column permutation is non-monotonic. All scratch and the result's
+  // CSR arrays come from the ambient arena inside a block-solve scope.
+  ScratchVector<int64_t> col_map(cols_, -1);
   for (size_t j = 0; j < col_ids.size(); ++j) {
     if (col_ids[j] >= cols_) {
       return Status::InvalidArgument("submatrix column out of bounds");
     }
     col_map[col_ids[j]] = static_cast<int64_t>(j);
   }
-  std::vector<Triplet> triplets;
-  for (size_t i = 0; i < row_ids.size(); ++i) {
-    const uint32_t r = row_ids[i];
+  for (const uint32_t r : row_ids) {
     if (r >= rows_) {
       return Status::InvalidArgument("submatrix row out of bounds");
     }
+  }
+
+  SparseMatrix m;
+  m.rows_ = row_ids.size();
+  m.cols_ = col_ids.size();
+  m.row_offsets_.assign(row_ids.size() + 1, 0);
+
+  size_t nnz = 0;
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    const uint32_t r = row_ids[i];
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      if (col_map[col_indices_[k]] >= 0) ++nnz;
+    }
+    m.row_offsets_[i + 1] = nnz;
+  }
+
+  m.col_indices_.resize(nnz);
+  m.values_.resize(nnz);
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    const uint32_t r = row_ids[i];
+    const size_t begin = m.row_offsets_[i];
+    size_t out = begin;
+    bool sorted = true;
     for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
       const int64_t c = col_map[col_indices_[k]];
-      if (c >= 0) {
-        triplets.push_back({static_cast<uint32_t>(i),
-                            static_cast<uint32_t>(c), values_[k]});
+      if (c < 0) continue;
+      if (out > begin && m.col_indices_[out - 1] > static_cast<uint32_t>(c)) {
+        sorted = false;
+      }
+      m.col_indices_[out] = static_cast<uint32_t>(c);
+      m.values_[out] = values_[k];
+      ++out;
+    }
+    if (!sorted) {
+      // Rare (the permutation reordered this row): rows are short, so an
+      // insertion sort over the paired arrays beats staging pair objects.
+      for (size_t a = begin + 1; a < out; ++a) {
+        const uint32_t ca = m.col_indices_[a];
+        const double va = m.values_[a];
+        size_t b = a;
+        while (b > begin && m.col_indices_[b - 1] > ca) {
+          m.col_indices_[b] = m.col_indices_[b - 1];
+          m.values_[b] = m.values_[b - 1];
+          --b;
+        }
+        m.col_indices_[b] = ca;
+        m.values_[b] = va;
       }
     }
   }
-  return FromTriplets(row_ids.size(), col_ids.size(), std::move(triplets));
+  return m;
 }
 
 size_t SparseMatrixBuilder::BeginRow() {
@@ -250,15 +301,20 @@ Status SparseMatrixBuilder::AddRow(const std::vector<uint32_t>& cols,
   if (cols.size() != values.size()) {
     return Status::InvalidArgument("AddRow: parallel arrays differ in size");
   }
+  return AddRow(cols.data(), values.data(), cols.size());
+}
+
+Status SparseMatrixBuilder::AddRow(const uint32_t* cols, const double* values,
+                                   size_t n) {
   BeginRow();
-  for (size_t i = 0; i < cols.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     PME_RETURN_IF_ERROR(Add(cols[i], values[i]));
   }
   return Status::Ok();
 }
 
 Result<SparseMatrix> SparseMatrixBuilder::Build() {
-  return SparseMatrix::FromTriplets(open_rows_, cols_, std::move(triplets_));
+  return SparseMatrix::BuildCsr(open_rows_, cols_, triplets_);
 }
 
 }  // namespace pme::linalg

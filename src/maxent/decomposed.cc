@@ -8,11 +8,13 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/deadline.h"
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/math_util.h"
 #include "common/metrics.h"
+#include "common/vec_math.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -382,6 +384,12 @@ Result<SolverResult> SolveDecomposed(
   const std::function<void(size_t)> block_task = [&](size_t i) {
         if (exact_hits[i] != nullptr) return;  // answered from the cache
         trace::TraceIdScope trace_scope(request_trace_id);
+        // One arena scope per block task: the Submatrix slices, presolve
+        // scratch and dual workspace below all bump-allocate from this
+        // worker's thread-local arena and are released wholesale here.
+        // The SolverResult stored into block_results escapes by design —
+        // its payload vectors use the plain heap allocator.
+        ArenaScope arena_scope;
         trace::TraceSpan block_span("solve_block", "solve");
         block_span.AddArg("block", static_cast<double>(i));
         Timer block_timer;
@@ -624,10 +632,20 @@ Result<SolverResult> SolveDecomposed(
     // coupled coordinates' contributions (blocks never overlap).
     double entropy = options.closed_form_prior_entropy;
     const std::vector<double>& prior = *options.closed_form_prior;
+    // Gather each block's prior/posterior slices into reused contiguous
+    // buffers so both -Σ x ln x reductions run as single batched kernel
+    // passes instead of per-coordinate scalar XLogX calls.
+    std::vector<double> prior_slice;
+    std::vector<double> post_slice;
     for (const auto& block : blocks) {
-      for (const uint32_t col : block.cols) {
-        entropy += XLogX(prior[col]) - XLogX(result.p[col]);
+      prior_slice.resize(block.cols.size());
+      post_slice.resize(block.cols.size());
+      for (size_t j = 0; j < block.cols.size(); ++j) {
+        prior_slice[j] = prior[block.cols[j]];
+        post_slice[j] = result.p[block.cols[j]];
       }
+      entropy += kernels::NegXLogXSum(kernels::ConstSpan(post_slice)) -
+                 kernels::NegXLogXSum(kernels::ConstSpan(prior_slice));
     }
     result.entropy = entropy;
   } else {

@@ -6,20 +6,20 @@
 
 namespace pme::maxent {
 
-DualFunction::DualFunction(const linalg::SparseMatrix* a,
-                           const std::vector<double>* b)
+DualFunction::DualFunction(const linalg::SparseMatrix* a, kernels::ConstSpan b)
     : a_(a), b_(b) {
-  assert(a != nullptr && b != nullptr);
-  assert(a->rows() == b->size());
+  assert(a != nullptr);
+  assert(a->rows() == b.size);
 }
 
 double DualFunction::Evaluate(const std::vector<double>& lambda,
                               std::vector<double>* grad,
                               std::vector<double>* p) const {
   DualWorkspace ws;
-  if (p != nullptr) ws.p.swap(*p);  // reuse the caller's capacity
   const double value = EvaluateInto(lambda, grad, &ws);
-  if (p != nullptr) p->swap(ws.p);
+  // ws.p may be arena-backed inside a scope, so copy rather than swap —
+  // this convenience wrapper is off the hot path.
+  if (p != nullptr) p->assign(ws.p.begin(), ws.p.end());
   return value;
 }
 
@@ -33,11 +33,11 @@ double DualFunction::EvaluateInto(const std::vector<double>& lambda,
   if (ws->p.size() != num_vars()) ws->p.resize(num_vars());
   a_->TransposeMultiplyInto(kernels::ConstSpan(lambda), kernels::Span(ws->p));
   const double sum_p = kernels::ExpM1SumInPlace(kernels::Span(ws->p));
-  const double value = sum_p - kernels::Dot(*b_, lambda);
+  const double value = sum_p - kernels::Dot(b_, lambda);
   if (grad != nullptr) {
     if (grad->size() != dim()) grad->resize(dim());
     // Fused CSR pass: ∇D = A p − b in a single sweep.
-    a_->MultiplyMinusInto(kernels::ConstSpan(ws->p), kernels::ConstSpan(*b_),
+    a_->MultiplyMinusInto(kernels::ConstSpan(ws->p), b_,
                           kernels::Span(*grad));
   }
   return value;

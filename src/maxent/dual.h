@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/arena.h"
 #include "linalg/sparse_matrix.h"
 
 namespace pme::maxent {
@@ -18,7 +19,9 @@ struct DualWorkspace {
   /// The primal iterate p(λ) = exp(Aᵀλ − 1), size n. Valid after each
   /// EvaluateInto; the exponent Aᵀλ is computed into this same buffer
   /// and overwritten in place, so no separate `t` scratch exists.
-  std::vector<double> p;
+  /// Arena-aware: a workspace created inside a block-solve ArenaScope
+  /// draws from the pool worker's arena and dies with the scope.
+  ScratchVector<double> p;
 };
 
 /// The Lagrange dual of the equality-constrained MaxEnt problem
@@ -40,11 +43,13 @@ struct DualWorkspace {
 /// multipliers to λ_j ≤ 0 (handled by the projected solver).
 class DualFunction {
  public:
-  /// `a` (m×n) and `b` (size m) must outlive this object.
-  DualFunction(const linalg::SparseMatrix* a, const std::vector<double>* b);
+  /// `a` (m×n) and the buffer behind `b` (size m) must outlive this
+  /// object. `b` is a view, so any contiguous double container works —
+  /// plain or arena-backed.
+  DualFunction(const linalg::SparseMatrix* a, kernels::ConstSpan b);
 
   /// Dual dimension m (number of constraints).
-  size_t dim() const { return b_->size(); }
+  size_t dim() const { return b_.size; }
   /// Primal dimension n (number of probability terms).
   size_t num_vars() const { return a_->cols(); }
 
@@ -69,11 +74,11 @@ class DualFunction {
   /// The constraint matrix A (needed by iterative-scaling solvers for
   /// column sums) and RHS b.
   const linalg::SparseMatrix& matrix() const { return *a_; }
-  const std::vector<double>& rhs() const { return *b_; }
+  kernels::ConstSpan rhs() const { return b_; }
 
  private:
   const linalg::SparseMatrix* a_;
-  const std::vector<double>* b_;
+  kernels::ConstSpan b_;
 };
 
 }  // namespace pme::maxent

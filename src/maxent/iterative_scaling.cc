@@ -8,7 +8,9 @@
 
 #include <cmath>
 
+#include "common/arena.h"
 #include "common/math_util.h"
+#include "common/vec_math.h"
 #include "maxent/solvers_internal.h"
 
 namespace pme::maxent::internal {
@@ -72,7 +74,8 @@ Result<DualOutcome> MinimizeGis(const DualFunction& dual,
 
   DualWorkspace ws;
   std::vector<double> grad(m);
-  const auto& b = dual.rhs();
+  ScratchVector<double> ratio(m);
+  const kernels::ConstSpan b = dual.rhs();
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     out.dual_value = dual.EvaluateInto(out.lambda, &grad, &ws);
     out.grad_inf = InfNorm(grad);
@@ -86,14 +89,18 @@ Result<DualOutcome> MinimizeGis(const DualFunction& dual,
       return out;
     }
     // λ_j += (1/C) ln(b_j / μ_j), with μ_j the current model expectation.
+    // The ratios are staged so the logarithm runs as one batched vector
+    // pass instead of m scalar std::log calls.
     for (size_t j = 0; j < m; ++j) {
       const double mu = grad[j] + b[j];
       if (mu <= 0.0) {
         return Status::NumericalError(
             "GIS: model expectation vanished for a constraint");
       }
-      out.lambda[j] += std::log(b[j] / mu) / c_max;
+      ratio[j] = b[j] / mu;
     }
+    kernels::Ln(ratio, ratio);
+    kernels::Axpy(1.0 / c_max, ratio, out.lambda);
   }
   out.dual_value = dual.EvaluateInto(out.lambda, &grad, &ws);
   out.grad_inf = InfNorm(grad);

@@ -22,9 +22,11 @@ namespace pme::maxent {
 struct MaxEntProblem {
   size_t num_vars = 0;
   linalg::SparseMatrix eq;
-  std::vector<double> eq_rhs;
+  // Arena-aware (like the matrices' CSR arrays): a problem assembled
+  // inside an ArenaScope is per-block scratch and dies with the scope.
+  ScratchVector<double> eq_rhs;
   linalg::SparseMatrix ineq;
-  std::vector<double> ineq_rhs;
+  ScratchVector<double> ineq_rhs;
 
   bool has_inequalities() const { return ineq.rows() > 0; }
   size_t num_constraints() const { return eq.rows() + ineq.rows(); }

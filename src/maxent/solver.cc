@@ -155,16 +155,16 @@ Result<SolverResult> Solve(const MaxEntProblem& problem, SolverKind kind,
     if (reduced.has_inequalities()) {
       PME_ASSIGN_OR_RETURN(auto stacked,
                            StackMatrices(reduced.eq, reduced.ineq));
-      std::vector<double> rhs = reduced.eq_rhs;
+      ScratchVector<double> rhs = reduced.eq_rhs;
       rhs.insert(rhs.end(), reduced.ineq_rhs.begin(), reduced.ineq_rhs.end());
-      DualFunction dual(&stacked, &rhs);
+      DualFunction dual(&stacked, rhs);
       PME_ASSIGN_OR_RETURN(
           outcome,
           internal::MinimizeProjected(dual, reduced.eq.rows(),
                                       solve_options));
       reduced_p = dual.Primal(outcome.lambda);
     } else {
-      DualFunction dual(&reduced.eq, &reduced.eq_rhs);
+      DualFunction dual(&reduced.eq, reduced.eq_rhs);
       switch (kind) {
         case SolverKind::kLbfgs: {
           PME_ASSIGN_OR_RETURN(outcome,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/metrics.h"
+#include "common/vec_math.h"
 #include "serve/json.h"
 
 namespace pme::serve {
@@ -229,7 +230,10 @@ std::string RenderTraceSpans(const std::vector<trace::TraceEvent>& events) {
 }
 
 std::string RenderStatsResponse(const std::string& id) {
-  return "{\"id\":\"" + EscapeJson(id) + "\",\"ok\":true,\"stats\":" +
+  // The active kernel ISA rides along as a readable string; the numeric
+  // vec_math.simd_tier gauge inside the registry snapshot says the same.
+  return "{\"id\":\"" + EscapeJson(id) + "\",\"ok\":true,\"simd\":\"" +
+         std::string(kernels::SimdModeName()) + "\",\"stats\":" +
          metrics::Registry::Global().RenderJson() + "}";
 }
 

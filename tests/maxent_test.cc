@@ -66,7 +66,7 @@ TEST(DualFunctionTest, GradientMatchesFiniteDifferences) {
     auto a = linalg::SparseMatrix::FromDense(dense);
     std::vector<double> b(rows);
     for (auto& v : b) v = prng.NextDouble(0.05, 0.5);
-    DualFunction dual(&a, &b);
+    DualFunction dual(&a, b);
 
     std::vector<double> lambda(rows);
     for (auto& v : lambda) v = prng.NextDouble(-1.0, 1.0);
@@ -91,7 +91,7 @@ TEST(DualFunctionTest, EvaluateIntoMatchesEvaluate) {
   auto a = linalg::SparseMatrix::FromDense(
       {{1.0, 0.0, 2.0, 0.5}, {0.0, 1.0, 1.0, 0.0}, {0.3, 0.0, 0.0, 1.0}});
   std::vector<double> b = {0.4, 0.3, 0.3};
-  DualFunction dual(&a, &b);
+  DualFunction dual(&a, b);
   DualWorkspace ws;
   std::vector<double> grad_fused, grad, p;
   for (int trial = 0; trial < 5; ++trial) {
@@ -116,7 +116,7 @@ TEST(DualFunctionTest, EvaluateIntoNeverResizesAfterWarmup) {
   auto a = linalg::SparseMatrix::FromDense(
       {{1.0, 1.0, 0.0}, {0.0, 1.0, 1.0}});
   std::vector<double> b = {0.5, 0.5};
-  DualFunction dual(&a, &b);
+  DualFunction dual(&a, b);
   DualWorkspace ws;
   std::vector<double> grad;
   std::vector<double> lambda = {0.1, -0.2};
@@ -138,7 +138,7 @@ TEST(DualFunctionTest, EvaluateIntoNeverResizesAfterWarmup) {
 TEST(DualFunctionTest, PrimalIsExpOfDualCombination) {
   auto a = linalg::SparseMatrix::FromDense({{1.0, 1.0}});
   std::vector<double> b = {1.0};
-  DualFunction dual(&a, &b);
+  DualFunction dual(&a, b);
   auto p = dual.Primal({2.0});
   EXPECT_NEAR(p[0], std::exp(1.0), 1e-12);
   EXPECT_NEAR(p[1], std::exp(1.0), 1e-12);

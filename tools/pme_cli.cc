@@ -26,6 +26,7 @@
 
 #include "anonymize/anatomy.h"
 #include "anonymize/bucketized_table.h"
+#include "common/arena.h"
 #include "common/deadline.h"
 #include "common/flags.h"
 #include "common/metrics.h"
@@ -54,8 +55,9 @@ void PrintUsage(std::FILE* out) {
                "  analyze  --data=FILE --sensitive=ATTR [--ell=L]\n"
                "           [--knowledge=FILE] [--solver=lbfgs|gis|iis|"
                "steepest|newton|projected]\n"
-               "           [--threads=N] [--simd=auto|off] "
-               "[--deadline-ms=N] [--fallback=on|off]\n"
+               "           [--threads=N] [--simd=off|avx2|avx512|auto] "
+               "[--arena=on|off]\n"
+               "           [--deadline-ms=N] [--fallback=on|off]\n"
                "           [--cache=off|exact|warm] [--cache-mb=N] "
                "[--repeat=N]\n"
                "           [--report=FILE] [--posterior=FILE]\n"
@@ -212,10 +214,19 @@ int RunAnalyze(const pme::Flags& flags) {
   // any value.
   options.solver_options.threads =
       static_cast<size_t>(flags.GetInt("threads", 1));
-  // Kernel dispatch: auto picks AVX2+FMA when available; off forces the
-  // portable scalar path (posteriors agree to ~1e-10 either way).
+  // Kernel dispatch: auto picks the widest tier the CPU supports
+  // (AVX-512 > AVX2+FMA > scalar); forcing a missing tier falls back
+  // down that ladder. Posteriors agree to ~1e-10 across all modes.
   pme::kernels::SetSimdMode(
       pme::kernels::ParseSimdMode(flags.GetString("simd", "auto")));
+  // Per-block scratch arena for the decomposed solve; off is the
+  // heap-allocation A/B control (PME_ARENA=off is the env equivalent).
+  const std::string arena_flag = flags.GetString("arena", "on");
+  if (arena_flag != "on" && arena_flag != "off") {
+    return Fail(pme::Status::InvalidArgument(
+        "--arena must be 'on' or 'off', got '" + arena_flag + "'"));
+  }
+  pme::Arena::SetEnabled(arena_flag == "on");
   // Wall-time budget for the whole solve. Components that run out of
   // their share degrade to cheaper solvers or the closed-form prior
   // rather than aborting the analysis (see --fallback).
